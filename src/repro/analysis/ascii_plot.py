@@ -1,0 +1,101 @@
+"""ASCII rendering of the paper's figures (no plotting library offline).
+
+Heatmaps use a shade ramp; line charts plot one or more series on a
+character grid.  Output is deterministic and embeds in benchmark logs and
+EXPERIMENTS.md verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["heatmap", "line_chart"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def heatmap(
+    grid: Sequence[Sequence[float]],
+    *,
+    title: str = "",
+    row_labels: Optional[Sequence[str]] = None,
+    col_labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Render ``grid[row][col]`` as a shaded character map.
+
+    ``None``/NaN cells render as spaces.  Intensity is normalized over
+    the finite cells.
+    """
+    values = [
+        v
+        for row in grid
+        for v in row
+        if v is not None and v == v  # filter None and NaN
+    ]
+    if not values:
+        return title + "\n(empty)"
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    label_w = max((len(s) for s in row_labels), default=0) if row_labels else 0
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        cells = []
+        for v in row:
+            if v is None or v != v:
+                cells.append(" ")
+            else:
+                idx = int((v - lo) / span * (len(_RAMP) - 1))
+                cells.append(_RAMP[idx])
+        prefix = f"{row_labels[r]:>{label_w}} |" if row_labels else "|"
+        lines.append(prefix + "".join(cells) + "|")
+    if col_labels:
+        footer = " " * (label_w + 1) + "".join(
+            lbl[0] if lbl else " " for lbl in col_labels
+        )
+        lines.append(footer)
+    lines.append(f"scale: min={lo:.3g} max={hi:.3g}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Plot named (x, y) series on a character grid.
+
+    Each series gets a marker cycled from ``*+o#x``; axes show the data
+    ranges.  Intended for the nfrac scaling curves of Figures 1-5.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return title + "\n(empty)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    xlo, xhi = min(xs), max(xs)
+    ylo, yhi = min(ys), max(ys)
+    xspan = xhi - xlo or 1.0
+    yspan = yhi - ylo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*+o#x@"
+    legend = []
+    for k, (name, pts) in enumerate(series.items()):
+        marker = markers[k % len(markers)]
+        legend.append(f"{marker}={name}")
+        for x, y in pts:
+            col = int((x - xlo) / xspan * (width - 1))
+            row = height - 1 - int((y - ylo) / yspan * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {ylo:.3g} .. {yhi:.3g}")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append(f"x: {xlo:.3g} .. {xhi:.3g}")
+    lines.append("legend: " + "  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Figure regeneration: the per-chain experiment of Section 7 / Appendix C.
+
+One paper figure = six panels for one chain:
+
+* left column -- heatmaps of total tickets, max tickets, and holder count
+  over the (alpha_n, alpha_w/alpha_n) grid;
+* right column -- scaling curves of the same metrics versus the fraction
+  of parties (bootstrap), for the four highlighted parameter pairs.
+
+:func:`build_figure` computes all panels; :func:`render_figure` produces
+the ASCII + CSV artifacts the benchmarks write to ``results/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from ..datasets.chains import ChainSnapshot
+from .ascii_plot import heatmap, line_chart
+from .metrics import ScalingPoint, SweepPoint
+from .sweep import (
+    DEFAULT_ALPHA_NS,
+    DEFAULT_RATIOS,
+    TABLE2_WR_PAIRS,
+    alpha_grid_sweep,
+    nfrac_sweep,
+)
+
+__all__ = ["FigureData", "build_figure", "render_figure", "figure_csv"]
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """All panels of one paper figure."""
+
+    system: str
+    grid_points: tuple[SweepPoint, ...]
+    scaling: dict[tuple[Fraction, Fraction], tuple[ScalingPoint, ...]]
+    alpha_ns: tuple[Fraction, ...]
+    ratios: tuple[Fraction, ...]
+
+
+def build_figure(
+    snapshot: ChainSnapshot,
+    *,
+    alpha_ns: Sequence[Fraction] = DEFAULT_ALPHA_NS,
+    ratios: Sequence[Fraction] = DEFAULT_RATIOS,
+    pairs: Sequence[tuple[Fraction, Fraction]] = TABLE2_WR_PAIRS,
+    nfracs: Sequence[float] = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+    trials: int = 5,
+    mode: str = "full",
+    seed: int = 0,
+) -> FigureData:
+    """Run both experiment kinds on one chain snapshot."""
+    grid = alpha_grid_sweep(
+        snapshot.weights, alpha_ns=alpha_ns, ratios=ratios, mode=mode
+    )
+    scaling = {}
+    for alpha_w, alpha_n in pairs:
+        scaling[(alpha_w, alpha_n)] = tuple(
+            nfrac_sweep(
+                snapshot.weights,
+                alpha_w,
+                alpha_n,
+                nfracs=nfracs,
+                trials=trials,
+                seed=seed,
+                mode=mode,
+            )
+        )
+    return FigureData(
+        system=snapshot.name,
+        grid_points=tuple(grid),
+        scaling=scaling,
+        alpha_ns=tuple(alpha_ns),
+        ratios=tuple(ratios),
+    )
+
+
+def _grid_matrix(fig: FigureData, attr: str) -> list[list[Optional[float]]]:
+    """Arrange sweep points as ratios (rows) x alpha_ns (cols)."""
+    index = {(p.alpha_n, p.ratio): p for p in fig.grid_points}
+    matrix: list[list[Optional[float]]] = []
+    for ratio in fig.ratios:
+        row: list[Optional[float]] = []
+        for alpha_n in fig.alpha_ns:
+            point = index.get((alpha_n, ratio))
+            row.append(
+                float(getattr(point.metrics, attr)) if point is not None else None
+            )
+        matrix.append(row)
+    return matrix
+
+
+def render_figure(fig: FigureData) -> str:
+    """ASCII rendition of all six panels."""
+    sections = [f"=== Figure: {fig.system} ==="]
+    for attr, label in (
+        ("total_tickets", "Total tickets"),
+        ("max_tickets", "Max tickets"),
+        ("holders", "# Holders"),
+    ):
+        sections.append(
+            heatmap(
+                _grid_matrix(fig, attr),
+                title=f"[{fig.system}] {label} over (ratio rows x alpha_n cols)",
+                row_labels=[str(r) for r in fig.ratios],
+                col_labels=[str(a) for a in fig.alpha_ns],
+            )
+        )
+        series = {}
+        for (aw, an), points in fig.scaling.items():
+            series[f"({aw},{an})"] = [
+                (p.nfrac, getattr(p, attr)) for p in points
+            ]
+        sections.append(
+            line_chart(series, title=f"[{fig.system}] {label} vs n-fraction")
+        )
+    return "\n\n".join(sections)
+
+
+def figure_csv(fig: FigureData) -> tuple[str, str]:
+    """CSV dumps: ``(grid_csv, scaling_csv)``."""
+    grid_lines = ["alpha_n,ratio,alpha_w,total_tickets,max_tickets,holders"]
+    for p in fig.grid_points:
+        grid_lines.append(
+            f"{float(p.alpha_n)},{float(p.ratio)},{float(p.alpha_w)},"
+            f"{p.metrics.total_tickets},{p.metrics.max_tickets},{p.metrics.holders}"
+        )
+    scale_lines = [
+        "alpha_w,alpha_n,nfrac,size,total_tickets,max_tickets,holders"
+    ]
+    for (aw, an), points in fig.scaling.items():
+        for p in points:
+            scale_lines.append(
+                f"{float(aw)},{float(an)},{p.nfrac},{p.size},"
+                f"{p.total_tickets},{p.max_tickets},{p.holders}"
+            )
+    return "\n".join(grid_lines), "\n".join(scale_lines)

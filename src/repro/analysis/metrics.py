@@ -1,0 +1,48 @@
+"""Metric records shared by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+__all__ = ["TicketMetrics", "SweepPoint", "ScalingPoint"]
+
+
+@dataclass(frozen=True)
+class TicketMetrics:
+    """The three quantities tracked in the paper's experiments
+    (Section 7): total tickets, max tickets per party, holder count."""
+
+    total_tickets: int
+    max_tickets: int
+    holders: int
+
+    @staticmethod
+    def from_assignment(assignment) -> "TicketMetrics":
+        return TicketMetrics(
+            total_tickets=assignment.total,
+            max_tickets=assignment.max_tickets,
+            holders=assignment.holders,
+        )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the (alpha_n, alpha_w/alpha_n) parameter grid."""
+
+    alpha_n: Fraction
+    ratio: Fraction  # alpha_w / alpha_n
+    alpha_w: Fraction
+    metrics: TicketMetrics
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of an nfrac scaling series (bootstrap average)."""
+
+    nfrac: float
+    size: int
+    total_tickets: float
+    max_tickets: float
+    holders: float

@@ -1,0 +1,41 @@
+"""Artifact writers: results land in ``results/`` as CSV and text."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["results_dir", "write_text", "write_csv_rows"]
+
+
+def results_dir(base: str | os.PathLike | None = None) -> Path:
+    """The ``results/`` directory (created on demand).
+
+    Defaults to ``<repo>/results`` resolved from the current working
+    directory, overridable with the ``REPRO_RESULTS_DIR`` environment
+    variable for CI use.
+    """
+    if base is not None:
+        path = Path(base)
+    else:
+        path = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_text(name: str, content: str, *, base=None) -> Path:
+    """Write a text artifact and return its path."""
+    path = results_dir(base) / name
+    path.write_text(content)
+    return path
+
+
+def write_csv_rows(
+    name: str, header: Sequence[str], rows: Sequence[Sequence], *, base=None
+) -> Path:
+    """Write simple CSV (no quoting needs in our data) and return the path."""
+    lines = [",".join(header)]
+    for row in rows:
+        lines.append(",".join(str(x) for x in row))
+    return write_text(name, "\n".join(lines) + "\n", base=base)

@@ -1,0 +1,111 @@
+"""Parameter sweeps reproducing the two experiment kinds of Section 7.
+
+* :func:`alpha_grid_sweep` -- the left column of Figures 1-5: vary
+  ``alpha_n`` over [0.1, 1) and ``alpha_w / alpha_n`` over [0.1, 0.9],
+  solve WR at every grid cell, record total/max tickets and holders.
+* :func:`nfrac_sweep` -- the right column: fix (alpha_w, alpha_n) pairs,
+  bootstrap-resample the chain at a range of sizes, average the metrics.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Callable, Optional, Sequence
+
+from ..core.problems import WeightRestriction
+from ..core.solver import Swiper
+from ..datasets.bootstrap import resample
+from .metrics import ScalingPoint, SweepPoint, TicketMetrics
+
+__all__ = [
+    "alpha_grid_sweep",
+    "nfrac_sweep",
+    "DEFAULT_ALPHA_NS",
+    "DEFAULT_RATIOS",
+    "TABLE2_WR_PAIRS",
+]
+
+#: Paper grid: alpha_n in [0.1, 1.0) (1.0 itself is outside WR's domain).
+DEFAULT_ALPHA_NS: tuple[Fraction, ...] = tuple(
+    Fraction(k, 10) for k in range(1, 10)
+)
+#: Paper grid: alpha_w = ratio * alpha_n for ratio in [0.1, 0.9].
+DEFAULT_RATIOS: tuple[Fraction, ...] = tuple(Fraction(k, 10) for k in range(1, 10))
+
+#: The four (alpha_w, alpha_n) pairs highlighted in Figures 1-5.
+TABLE2_WR_PAIRS: tuple[tuple[Fraction, Fraction], ...] = (
+    (Fraction(1, 4), Fraction(1, 3)),
+    (Fraction(1, 3), Fraction(3, 8)),
+    (Fraction(1, 3), Fraction(1, 2)),
+    (Fraction(2, 3), Fraction(3, 4)),
+)
+
+
+def alpha_grid_sweep(
+    weights: Sequence[int],
+    *,
+    alpha_ns: Sequence[Fraction] = DEFAULT_ALPHA_NS,
+    ratios: Sequence[Fraction] = DEFAULT_RATIOS,
+    mode: str = "full",
+) -> list[SweepPoint]:
+    """Solve WR on every (alpha_n, ratio) grid cell (left-column heatmaps)."""
+    solver = Swiper(mode=mode)
+    points = []
+    for alpha_n in alpha_ns:
+        for ratio in ratios:
+            alpha_w = ratio * alpha_n
+            if not 0 < alpha_w < alpha_n < 1:
+                continue
+            result = solver.solve(WeightRestriction(alpha_w, alpha_n), weights)
+            points.append(
+                SweepPoint(
+                    alpha_n=alpha_n,
+                    ratio=ratio,
+                    alpha_w=alpha_w,
+                    metrics=TicketMetrics.from_assignment(result.assignment),
+                )
+            )
+    return points
+
+
+def nfrac_sweep(
+    weights: Sequence[int],
+    alpha_w: Fraction,
+    alpha_n: Fraction,
+    *,
+    nfracs: Sequence[float] = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+    trials: int = 10,
+    seed: int = 0,
+    mode: str = "full",
+) -> list[ScalingPoint]:
+    """Bootstrap scaling series for one parameter pair (right columns).
+
+    The paper runs 100 trials per point; ``trials`` is configurable so the
+    benchmark harness can trade precision for wall-clock.
+    """
+    solver = Swiper(mode=mode)
+    problem = WeightRestriction(alpha_w, alpha_n)
+    rng = random.Random(seed)
+    out = []
+    for nfrac in nfracs:
+        size = max(1, round(nfrac * len(weights)))
+        totals, maxes, holders = [], [], []
+        for _ in range(trials):
+            sample = resample(weights, size, rng)
+            if not any(sample):
+                sample[0] = max(weights)
+            result = solver.solve(problem, sample)
+            totals.append(result.assignment.total)
+            maxes.append(result.assignment.max_tickets)
+            holders.append(result.assignment.holders)
+        out.append(
+            ScalingPoint(
+                nfrac=nfrac,
+                size=size,
+                total_tickets=sum(totals) / trials,
+                max_tickets=sum(maxes) / trials,
+                holders=sum(holders) / trials,
+            )
+        )
+    return out

@@ -1,0 +1,115 @@
+"""Reproduction of the paper's Table 2: tickets allocated per system.
+
+For each chain snapshot the paper reports the number of tickets Swiper
+allocates under four WR/WQ parameter settings and three WS settings, in
+both full and ``--linear`` modes (linear-mode surpluses shown in
+parentheses).  :func:`build_table2` regenerates the same rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from ..core.problems import (
+    WeightQualification,
+    WeightReductionProblem,
+    WeightRestriction,
+    WeightSeparation,
+)
+from ..core.solver import Swiper
+from ..datasets.chains import ChainSnapshot
+
+__all__ = ["Table2Cell", "Table2Row", "build_table2", "TABLE2_COLUMNS", "format_table2"]
+
+#: Column layout of the paper's Table 2: four WR settings (each with the
+#: equivalent WQ phrasing) and three WS settings.
+TABLE2_COLUMNS: tuple[tuple[str, WeightReductionProblem], ...] = (
+    ("WR(1/4,1/3)", WeightRestriction(Fraction(1, 4), Fraction(1, 3))),
+    ("WR(1/3,3/8)", WeightRestriction(Fraction(1, 3), Fraction(3, 8))),
+    ("WR(1/3,1/2)", WeightRestriction(Fraction(1, 3), Fraction(1, 2))),
+    ("WR(2/3,3/4)", WeightRestriction(Fraction(2, 3), Fraction(3, 4))),
+    ("WS(1/4,1/3)", WeightSeparation(Fraction(1, 4), Fraction(1, 3))),
+    ("WS(1/3,1/2)", WeightSeparation(Fraction(1, 3), Fraction(1, 2))),
+    ("WS(2/3,3/4)", WeightSeparation(Fraction(2, 3), Fraction(3, 4))),
+)
+
+
+@dataclass(frozen=True)
+class Table2Cell:
+    """Ticket counts for one (system, parameter) cell."""
+
+    label: str
+    full_tickets: int
+    linear_tickets: int
+
+    @property
+    def linear_surplus(self) -> int:
+        """Extra tickets of linear mode (paper's parenthesised ``(+k)``)."""
+        return self.linear_tickets - self.full_tickets
+
+    def render(self) -> str:
+        if self.linear_surplus > 0:
+            return f"{self.full_tickets} (+{self.linear_surplus})"
+        return str(self.full_tickets)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One system's row of Table 2."""
+
+    system: str
+    n: int
+    total_weight: int
+    cells: tuple[Table2Cell, ...]
+
+
+def build_table2(
+    snapshots: Sequence[ChainSnapshot],
+    *,
+    columns: Sequence[tuple[str, WeightReductionProblem]] = TABLE2_COLUMNS,
+    include_linear: bool = True,
+) -> list[Table2Row]:
+    """Solve every (system, parameter) cell in full and linear modes."""
+    full_solver = Swiper(mode="full")
+    linear_solver = Swiper(mode="linear")
+    rows = []
+    for snap in snapshots:
+        cells = []
+        for label, problem in columns:
+            full = full_solver.solve(problem, snap.weights)
+            if include_linear:
+                linear = linear_solver.solve(problem, snap.weights)
+                linear_total = linear.total_tickets
+            else:
+                linear_total = full.total_tickets
+            cells.append(
+                Table2Cell(
+                    label=label,
+                    full_tickets=full.total_tickets,
+                    linear_tickets=linear_total,
+                )
+            )
+        rows.append(
+            Table2Row(
+                system=snap.name,
+                n=snap.n,
+                total_weight=snap.total,
+                cells=tuple(cells),
+            )
+        )
+    return rows
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    """Render rows in the paper's layout (markdown-ish plain text)."""
+    labels = [c.label for c in rows[0].cells] if rows else []
+    header = ["system", "n", "W"] + labels
+    lines = [" | ".join(header)]
+    lines.append(" | ".join("---" for _ in header))
+    for row in rows:
+        cells = [row.system, str(row.n), f"{row.total_weight:.2e}"]
+        cells += [c.render() for c in row.cells]
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)

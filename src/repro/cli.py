@@ -1,0 +1,125 @@
+"""Command-line interface mirroring the paper's prototype solver.
+
+The Swiper prototype is a CLI with a ``--linear`` flag (Section 3.1);
+this module reproduces that interface::
+
+    python -m repro.cli wr --alpha-w 1/3 --alpha-n 1/2 --weights 40 25 15 10
+    python -m repro.cli wq --beta-w 2/3 --beta-n 1/2 --weights-file stake.txt
+    python -m repro.cli ws --alpha 1/3 --beta 1/2 --chain tezos --linear
+
+Weights come from ``--weights`` (inline), ``--weights-file`` (one number
+per line), or ``--chain`` (a calibrated snapshot).  Output is the ticket
+assignment summary, or the full per-party list with ``--full-output``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core import (
+    WeightQualification,
+    WeightRestriction,
+    WeightSeparation,
+    solve,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Swiper: approximate solver for weight reduction problems",
+    )
+    sub = parser.add_subparsers(dest="problem", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        source = p.add_mutually_exclusive_group(required=True)
+        source.add_argument(
+            "--weights", nargs="+", help="inline weights (ints, floats, or a/b)"
+        )
+        source.add_argument(
+            "--weights-file", help="file with one weight per line"
+        )
+        source.add_argument(
+            "--chain",
+            choices=["aptos", "tezos", "filecoin", "algorand"],
+            help="calibrated chain snapshot",
+        )
+        p.add_argument(
+            "--linear",
+            action="store_true",
+            help="quasilinear mode: quick test only (paper's --linear)",
+        )
+        p.add_argument(
+            "--full-output",
+            action="store_true",
+            help="print the complete per-party ticket list",
+        )
+
+    wr = sub.add_parser("wr", help="Weight Restriction (Problem 1)")
+    wr.add_argument("--alpha-w", required=True)
+    wr.add_argument("--alpha-n", required=True)
+    add_common(wr)
+
+    wq = sub.add_parser("wq", help="Weight Qualification (Problem 2)")
+    wq.add_argument("--beta-w", required=True)
+    wq.add_argument("--beta-n", required=True)
+    add_common(wq)
+
+    ws = sub.add_parser("ws", help="Weight Separation (Problem 3)")
+    ws.add_argument("--alpha", required=True)
+    ws.add_argument("--beta", required=True)
+    add_common(ws)
+
+    return parser
+
+
+def _load_weights(args: argparse.Namespace) -> list:
+    if args.weights is not None:
+        return list(args.weights)
+    if args.weights_file is not None:
+        with open(args.weights_file) as fh:
+            return [line.strip() for line in fh if line.strip()]
+    from .datasets import load_chain
+
+    return list(load_chain(args.chain).weights)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    mode = "linear" if args.linear else "full"
+    try:
+        if args.problem == "wr":
+            problem = WeightRestriction(args.alpha_w, args.alpha_n)
+        elif args.problem == "wq":
+            problem = WeightQualification(args.beta_w, args.beta_n)
+        else:
+            problem = WeightSeparation(args.alpha, args.beta)
+        weights = _load_weights(args)
+        result = solve(problem, weights, mode=mode)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    a = result.assignment
+    print(f"problem         : {problem}")
+    print(f"parties (n)     : {len(a)}")
+    print(f"mode            : {mode}")
+    print(f"total tickets   : {a.total}")
+    print(f"theorem bound   : {result.ticket_bound}")
+    print(f"max per party   : {a.max_tickets}")
+    print(f"ticket holders  : {a.holders}")
+    print(f"solve time      : {result.elapsed_seconds:.3f}s")
+    if args.full_output:
+        for i, t in enumerate(a):
+            print(f"party {i}: {t}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

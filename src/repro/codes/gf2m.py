@@ -1,0 +1,158 @@
+"""Binary extension fields ``GF(2^w)`` with log/antilog tables.
+
+Reed-Solomon coding (paper, Section 5) works over a finite field whose
+size bounds the number of fragments: the weighted protocols need up to
+``T`` fragments where ``T`` can exceed 255, so both ``GF(2^8)`` (classic,
+fast) and ``GF(2^16)`` (up to 65535 fragments) are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["GF2m", "GF256", "GF65536"]
+
+
+class GF2m:
+    """The field ``GF(2^w)`` defined by a primitive polynomial.
+
+    Elements are ints in ``[0, 2^w)``; addition is XOR; multiplication
+    uses exp/log tables built once at construction.
+    """
+
+    def __init__(self, width: int, primitive_poly: int) -> None:
+        if not 2 <= width <= 16:
+            raise ValueError("width must be in [2, 16]")
+        self.width = width
+        self.size = 1 << width
+        self.primitive_poly = primitive_poly
+        self.exp = [0] * (2 * self.size)
+        self.log = [0] * self.size
+        x = 1
+        for i in range(self.size - 1):
+            self.exp[i] = x
+            self.log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= primitive_poly
+        if x != 1:
+            raise ValueError(f"{primitive_poly:#x} is not primitive for width {width}")
+        # Double the table to skip a modulo in mul.
+        for i in range(self.size - 1, 2 * self.size):
+            self.exp[i] = self.exp[i - (self.size - 1)]
+
+    # -- arithmetic -------------------------------------------------------------
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Characteristic-2 addition (XOR); subtraction is identical."""
+        return a ^ b
+
+    sub = add
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return self.exp[self.log[a] + self.log[b]]
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(2^w)")
+        return self.exp[self.size - 1 - self.log[a]]
+
+    def div(self, a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("division by zero")
+        if a == 0:
+            return 0
+        return self.exp[self.log[a] - self.log[b] + self.size - 1]
+
+    def pow(self, a: int, e: int) -> int:
+        if a == 0:
+            return 0 if e else 1
+        return self.exp[(self.log[a] * e) % (self.size - 1)]
+
+    @property
+    def alpha(self) -> int:
+        """A fixed primitive element (the root of the primitive poly)."""
+        return 2
+
+    def element_at(self, i: int) -> int:
+        """``alpha^i``: canonical distinct non-zero evaluation points."""
+        return self.exp[i % (self.size - 1)]
+
+    # -- polynomials (coefficient lists, index = degree) -------------------------
+    def poly_eval(self, poly: Sequence[int], x: int) -> int:
+        """Horner evaluation of ``poly`` (index = degree) at ``x``."""
+        acc = 0
+        for c in reversed(poly):
+            acc = self.mul(acc, x) ^ c
+        return acc
+
+    def poly_add(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        out = list(a) if len(a) >= len(b) else list(b)
+        short = b if len(a) >= len(b) else a
+        for i, c in enumerate(short):
+            out[i] ^= c
+        while out and out[-1] == 0:
+            out.pop()
+        return out
+
+    def poly_mul(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        if not a or not b:
+            return []
+        out = [0] * (len(a) + len(b) - 1)
+        for i, ai in enumerate(a):
+            if ai == 0:
+                continue
+            la = self.log[ai]
+            for j, bj in enumerate(b):
+                if bj:
+                    out[i + j] ^= self.exp[la + self.log[bj]]
+        while out and out[-1] == 0:
+            out.pop()
+        return out
+
+    def poly_scale(self, a: Sequence[int], s: int) -> list[int]:
+        return [self.mul(c, s) for c in a]
+
+    def poly_divmod(
+        self, num: Sequence[int], den: Sequence[int]
+    ) -> tuple[list[int], list[int]]:
+        """Polynomial division with remainder."""
+        num = list(num)
+        while num and num[-1] == 0:
+            num.pop()
+        den = list(den)
+        while den and den[-1] == 0:
+            den.pop()
+        if not den:
+            raise ZeroDivisionError("polynomial division by zero")
+        if len(num) < len(den):
+            return [], num
+        quot = [0] * (len(num) - len(den) + 1)
+        rem = list(num)
+        inv_lead = self.inv(den[-1])
+        for shift in range(len(num) - len(den), -1, -1):
+            coef = self.mul(rem[shift + len(den) - 1], inv_lead)
+            quot[shift] = coef
+            if coef:
+                for i, d in enumerate(den):
+                    rem[shift + i] ^= self.mul(d, coef)
+        while rem and rem[-1] == 0:
+            rem.pop()
+        return quot, rem
+
+    def poly_deriv(self, a: Sequence[int]) -> list[int]:
+        """Formal derivative (odd-degree terms survive in char 2)."""
+        out = [a[i] if i % 2 == 1 else 0 for i in range(1, len(a))]
+        while out and out[-1] == 0:
+            out.pop()
+        return out
+
+
+#: ``GF(2^8)`` with the AES/QR-code primitive polynomial ``x^8+x^4+x^3+x^2+1``.
+GF256 = GF2m(8, 0x11D)
+
+#: ``GF(2^16)`` with primitive polynomial ``x^16+x^12+x^3+x+1``.
+GF65536 = GF2m(16, 0x1100B)

@@ -1,0 +1,213 @@
+"""Reed-Solomon erasure and error-correcting codes (paper, Section 5).
+
+``(k, m)`` evaluation-style RS: the ``k`` data symbols are the
+coefficients of a polynomial ``f`` of degree below ``k``; fragment ``j``
+is ``f(alpha^j)``.  Any ``k`` fragments reconstruct (erasure decoding by
+Lagrange interpolation); with ``k + 2e`` fragments up to ``e`` of which
+are wrong, Gao's extended-Euclidean decoder recovers ``f`` (error
+decoding) -- matching the correction capability the paper assumes for the
+online-error-correction broadcast (Section 5.2).
+
+Operation counters expose the decoding *work*, which is what the paper's
+Table 1 computation-overhead columns measure (work grows with the number
+of fragments ``m``, i.e. with the ticket count in the weighted setting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from .gf2m import GF256, GF65536, GF2m
+
+__all__ = ["ReedSolomon", "Fragment", "DecodingFailure", "min_message_symbols"]
+
+
+class DecodingFailure(Exception):
+    """Raised when decoding cannot produce a consistent codeword."""
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One coded symbol: position ``index`` (0-based) and its ``value``."""
+
+    index: int
+    value: int
+
+
+def min_message_symbols(k: int, m: int) -> int:
+    """Paper, Section 5.1: Reed-Solomon needs messages of at least
+    ``k * log2(m)`` bits; expressed here in field symbols the data block is
+    ``k`` symbols, each of ``ceil(log2(m))`` bits minimum -- callers use
+    this to account for padding overhead with large ``m``."""
+    return k * max(1, (m - 1).bit_length())
+
+
+class ReedSolomon:
+    """A ``(k, m)`` Reed-Solomon code over ``GF(2^w)``.
+
+    Parameters
+    ----------
+    k:
+        Data symbols per block (reconstruction threshold).
+    m:
+        Total fragments; must satisfy ``k <= m <= 2^w - 1``.
+    field:
+        The :class:`~repro.codes.gf2m.GF2m` instance; chosen automatically
+        (GF(2^8) when ``m < 256``, else GF(2^16)) if omitted.
+    """
+
+    def __init__(self, k: int, m: int, field: Optional[GF2m] = None) -> None:
+        if field is None:
+            field = GF256 if m < 256 else GF65536
+        if not 1 <= k <= m <= field.size - 1:
+            raise ValueError(
+                f"need 1 <= k <= m <= {field.size - 1}, got k={k}, m={m}"
+            )
+        self.k = k
+        self.m = m
+        self.field = field
+        #: evaluation points alpha^0 .. alpha^{m-1} (distinct, non-zero)
+        self.points = [field.element_at(i) for i in range(m)]
+        #: cumulative decoding work counter (field multiplications, approx)
+        self.work_counter = 0
+
+    @property
+    def rate(self) -> float:
+        """Code rate ``k / m``."""
+        return self.k / self.m
+
+    # -- encoding ---------------------------------------------------------------
+    def encode(self, data: Sequence[int]) -> list[Fragment]:
+        """Encode ``k`` data symbols into ``m`` fragments."""
+        if len(data) != self.k:
+            raise ValueError(f"data must have exactly k={self.k} symbols")
+        for s in data:
+            if not 0 <= s < self.field.size:
+                raise ValueError(f"symbol {s} outside GF(2^{self.field.width})")
+        out = []
+        for j, x in enumerate(self.points):
+            out.append(Fragment(index=j, value=self.field.poly_eval(data, x)))
+        self.work_counter += self.m * self.k
+        return out
+
+    # -- erasure decoding ---------------------------------------------------------
+    def decode_erasures(self, fragments: Sequence[Fragment]) -> list[int]:
+        """Reconstruct data from any ``k`` correct fragments (Lagrange)."""
+        unique = {f.index: f for f in fragments}
+        if len(unique) < self.k:
+            raise DecodingFailure(
+                f"need {self.k} fragments, got {len(unique)} distinct"
+            )
+        chosen = list(unique.values())[: self.k]
+        xs = [self.points[f.index] for f in chosen]
+        ys = [f.value for f in chosen]
+        data = self._interpolate(xs, ys)
+        self.work_counter += self.k * self.k
+        if len(data) > self.k:
+            raise DecodingFailure("interpolation exceeded expected degree")
+        return data + [0] * (self.k - len(data))
+
+    def _interpolate(self, xs: Sequence[int], ys: Sequence[int]) -> list[int]:
+        """Coefficients of the unique poly of degree < len(xs) through points."""
+        f = self.field
+        result: list[int] = []
+        for i, (xi, yi) in enumerate(zip(xs, ys)):
+            num = [1]
+            den = 1
+            for j, xj in enumerate(xs):
+                if i == j:
+                    continue
+                num = f.poly_mul(num, [xj, 1])  # (x - xj) == (x + xj) in char 2
+                den = f.mul(den, xi ^ xj)
+            term = f.poly_scale(num, f.div(yi, den))
+            result = f.poly_add(result, term)
+        return result
+
+    # -- error decoding (Gao) --------------------------------------------------------
+    def decode_errors(self, fragments: Sequence[Fragment]) -> list[int]:
+        """Reconstruct from fragments containing up to
+        ``(len(fragments) - k) // 2`` wrong values (Gao's decoder).
+
+        Raises :class:`DecodingFailure` when the error budget is exceeded.
+        """
+        unique = {f.index: f for f in fragments}
+        received = list(unique.values())
+        r = len(received)
+        if r < self.k:
+            raise DecodingFailure(f"need at least k={self.k} fragments, got {r}")
+        f = self.field
+        xs = [self.points[frag.index] for frag in received]
+        ys = [frag.value for frag in received]
+        # g0 = prod (x - x_i); g1 interpolates the received word.
+        g0 = [1]
+        for x in xs:
+            g0 = f.poly_mul(g0, [x, 1])
+        g1 = self._interpolate(xs, ys)
+        self.work_counter += r * r
+        if not g1:
+            return [0] * self.k
+        # Partial extended Euclid until deg(remainder) < (r + k) / 2.
+        stop = (r + self.k) // 2 if (r + self.k) % 2 == 0 else (r + self.k + 1) // 2
+        # deg g < (r + k) / 2 means 2*deg < r + k; use integer threshold:
+        def small_enough(poly: list[int]) -> bool:
+            return 2 * (len(poly) - 1) < r + self.k
+
+        a, b = g0, g1
+        # Bezout coefficients for b-track: v satisfies g = u*g0 + v*g1.
+        v_prev, v_cur = [], [1]
+        g_prev, g_cur = a, b
+        while g_cur and not small_enough(g_cur):
+            q, rem = f.poly_divmod(g_prev, g_cur)
+            self.work_counter += max(1, len(q)) * max(1, len(g_cur))
+            g_prev, g_cur = g_cur, rem
+            v_prev, v_cur = v_cur, f.poly_add(v_prev, f.poly_mul(q, v_cur))
+        if not g_cur:
+            raise DecodingFailure("degenerate Euclidean step")
+        f1, rem = f.poly_divmod(g_cur, v_cur)
+        if rem:
+            raise DecodingFailure("too many errors: remainder not divisible")
+        if len(f1) > self.k:
+            raise DecodingFailure("too many errors: degree overflow")
+        data = f1 + [0] * (self.k - len(f1))
+        # Consistency check: the decoded word must disagree with at most
+        # (r - k) // 2 received fragments.
+        errors = sum(
+            1 for x, y in zip(xs, ys) if f.poly_eval(data, x) != y
+        )
+        if errors > (r - self.k) // 2:
+            raise DecodingFailure(f"{errors} errors exceed correction budget")
+        return data
+
+    # -- byte-level convenience -----------------------------------------------------
+    def encode_bytes(self, data: bytes) -> tuple[list[list[Fragment]], int]:
+        """Encode an arbitrary byte string block-by-block.
+
+        Returns ``(blocks, original_length)`` where each block is the
+        fragment list of one ``k``-symbol chunk.  Symbols are single bytes
+        for GF(2^8), byte pairs for GF(2^16).
+        """
+        sym_bytes = self.field.width // 8
+        chunk = self.k * sym_bytes
+        padded = data + b"\x00" * ((-len(data)) % chunk)
+        blocks = []
+        for off in range(0, len(padded), chunk):
+            piece = padded[off : off + chunk]
+            symbols = [
+                int.from_bytes(piece[i : i + sym_bytes], "big")
+                for i in range(0, len(piece), sym_bytes)
+            ]
+            blocks.append(self.encode(symbols))
+        return blocks, len(data)
+
+    def decode_bytes(
+        self, blocks: Sequence[Sequence[Fragment]], original_length: int
+    ) -> bytes:
+        """Inverse of :meth:`encode_bytes` using erasure decoding."""
+        sym_bytes = self.field.width // 8
+        out = bytearray()
+        for fragments in blocks:
+            symbols = self.decode_erasures(list(fragments))
+            for s in symbols:
+                out += s.to_bytes(sym_bytes, "big")
+        return bytes(out[:original_length])

@@ -1,0 +1,65 @@
+"""Closed-form theorem bounds (Theorems 2.1, 2.4; Corollary 2.3).
+
+Thin functional wrappers over the ``ticket_bound`` methods of the problem
+classes, plus the exact rational bound *values* (before the integer
+rounding) used by the analysis layer when plotting "bound vs. achieved"
+curves.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .problems import WeightQualification, WeightRestriction, WeightSeparation
+from .types import Number, as_fraction
+
+__all__ = [
+    "wr_bound_value",
+    "wq_bound_value",
+    "ws_bound_value",
+    "wr_ticket_bound",
+    "wq_ticket_bound",
+    "ws_ticket_bound",
+]
+
+
+def wr_bound_value(alpha_w: Number, alpha_n: Number, n: int) -> Fraction:
+    """Exact value ``alpha_w (1 - alpha_w) / (alpha_n - alpha_w) * n``
+    whose ceiling is the Theorem 2.1 ticket bound."""
+    aw, an = as_fraction(alpha_w), as_fraction(alpha_n)
+    if not (0 < aw < an < 1):
+        raise ValueError("need 0 < alpha_w < alpha_n < 1")
+    return aw * (1 - aw) / (an - aw) * n
+
+
+def wq_bound_value(beta_w: Number, beta_n: Number, n: int) -> Fraction:
+    """Exact value ``beta_w (1 - beta_w) / (beta_w - beta_n) * n``
+    whose ceiling is the Corollary 2.3 ticket bound."""
+    bw, bn = as_fraction(beta_w), as_fraction(beta_n)
+    if not (0 < bn < bw < 1):
+        raise ValueError("need 0 < beta_n < beta_w < 1")
+    return bw * (1 - bw) / (bw - bn) * n
+
+
+def ws_bound_value(alpha: Number, beta: Number, n: int) -> Fraction:
+    """Exact value ``(alpha + beta)(1 - alpha) / (beta - alpha) * n``
+    bounding Weight Separation (Theorem 2.4)."""
+    a, b = as_fraction(alpha), as_fraction(beta)
+    if not (0 < a < b < 1):
+        raise ValueError("need 0 < alpha < beta < 1")
+    return (a + b) * (1 - a) / (b - a) * n
+
+
+def wr_ticket_bound(alpha_w: Number, alpha_n: Number, n: int) -> int:
+    """Integer Theorem 2.1 bound (ceiling of :func:`wr_bound_value`)."""
+    return WeightRestriction(alpha_w, alpha_n).ticket_bound(n)
+
+
+def wq_ticket_bound(beta_w: Number, beta_n: Number, n: int) -> int:
+    """Integer Corollary 2.3 bound (ceiling of :func:`wq_bound_value`)."""
+    return WeightQualification(beta_w, beta_n).ticket_bound(n)
+
+
+def ws_ticket_bound(alpha: Number, beta: Number, n: int) -> int:
+    """Integer Theorem 2.4 bound (ceiling of :func:`ws_bound_value`)."""
+    return WeightSeparation(alpha, beta).ticket_bound(n)

@@ -1,0 +1,283 @@
+"""Knapsack machinery backing the validity checks (paper, Section 3.1).
+
+Verifying a Swiper ticket assignment is a Knapsack instance: "does some
+subset of weight strictly below a capacity collect at least a target number
+of tickets?".  The paper solves it with *dynamic programming by profits*
+([Kellerer-Pferschy-Pisinger, Lemma 2.3.2], ``O(n * T)``) and filters most
+invocations out with quasilinear lower/upper bounds.
+
+This module provides three tiers, all decided *soundly*:
+
+1. exact big-integer DP on weights scaled by their common denominator
+   (the oracle; used directly for small instances and as a fallback);
+2. vectorized numpy DP on weights scaled to ``2**40`` relative precision,
+   run twice -- once with weights rounded *down* (enlarges the feasible
+   family: a "no" here is a certified no) and once rounded *up* (shrinks
+   it: a "yes" here is a certified yes); disagreements fall back to (1);
+3. quasilinear greedy bounds: the fractional (LP) relaxation as an upper
+   bound and an integral greedy + best-single-item value as an achievable
+   lower bound.  These implement the paper's conservative/liberal quick
+   checks.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "strict_cap_int",
+    "scale_weights_exact",
+    "scale_weights_rounded",
+    "min_weight_for_profit",
+    "max_profit_under",
+    "min_weight_for_profit_numpy",
+    "max_profit_under_numpy",
+    "fractional_upper_bound",
+    "greedy_lower_bound",
+    "SCALE_BITS",
+]
+
+#: Relative precision (bits) of the rounded integer scaling used by the
+#: numpy DP tier.  2**40 leaves ample headroom in int64 accumulators.
+SCALE_BITS = 40
+
+_INT64_INF = np.int64(1) << np.int64(62)
+
+
+def strict_cap_int(capacity: Fraction) -> int:
+    """Largest integer strictly below ``capacity`` (``-1`` if none >= 0).
+
+    Integer subset weights satisfy ``w(S) < capacity`` iff
+    ``w(S) <= strict_cap_int(capacity)``.
+    """
+    if capacity <= 0:
+        return -1
+    p, q = capacity.numerator, capacity.denominator
+    return (p - 1) // q
+
+
+def scale_weights_exact(weights: Sequence[Fraction]) -> tuple[list[int], int]:
+    """Scale rational weights to exact integers.
+
+    Returns ``(int_weights, denominator)`` where
+    ``int_weights[i] == weights[i] * denominator`` exactly, with
+    ``denominator`` the LCM of all weight denominators.
+    """
+    denom = 1
+    for w in weights:
+        denom = denom * w.denominator // math.gcd(denom, w.denominator)
+    return [int(w * denom) for w in weights], denom
+
+
+def scale_weights_rounded(
+    weights: Sequence[Fraction], total: Fraction, *, round_up: bool
+) -> np.ndarray:
+    """Scale weights to ``w_i * 2**SCALE_BITS / total`` rounded to int64.
+
+    ``round_up=False`` rounds down (never overstates a subset's weight, so
+    every truly feasible subset stays feasible); ``round_up=True`` rounds
+    up (every subset feasible after scaling is truly feasible).
+    """
+    scale = Fraction(1 << SCALE_BITS) / total
+    out = np.empty(len(weights), dtype=np.int64)
+    for i, w in enumerate(weights):
+        v = w * scale
+        if round_up:
+            out[i] = -((-v.numerator) // v.denominator)
+        else:
+            out[i] = v.numerator // v.denominator
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Tier 1: exact dynamic programming by profits
+# ---------------------------------------------------------------------------
+
+
+def min_weight_for_profit(
+    int_weights: Sequence[int], profits: Sequence[int], target: int
+) -> Optional[int]:
+    """Minimum total integer weight of a subset with profit >= ``target``.
+
+    Exact DP by profits, ``O(n * target)``; returns ``None`` when even the
+    full set falls short of ``target``.  ``target <= 0`` returns ``0`` (the
+    empty set).
+    """
+    if target <= 0:
+        return 0
+    dp: list[Optional[int]] = [0] + [None] * target
+    for w, t in zip(int_weights, profits):
+        if t <= 0:
+            continue
+        for p in range(target, 0, -1):
+            src = dp[p - t] if p > t else dp[0]
+            if src is not None:
+                cand = src + w
+                cur = dp[p]
+                if cur is None or cand < cur:
+                    dp[p] = cand
+    return dp[target]
+
+
+def max_profit_under(
+    int_weights: Sequence[int], profits: Sequence[int], cap: int
+) -> int:
+    """Maximum profit of a subset with total integer weight <= ``cap``.
+
+    Exact DP by profits over the full profit range.  ``cap < 0`` admits no
+    subset at all (not even the empty one) and returns ``0`` by convention
+    with the understanding that callers treat a negative cap as "vacuous".
+    """
+    if cap < 0:
+        return 0
+    total_profit = sum(t for t in profits if t > 0)
+    if total_profit == 0:
+        return 0
+    dp: list[Optional[int]] = [0] + [None] * total_profit
+    for w, t in zip(int_weights, profits):
+        if t <= 0:
+            continue
+        for p in range(total_profit, 0, -1):
+            src = dp[p - t] if p > t else dp[0]
+            if src is not None:
+                cand = src + w
+                cur = dp[p]
+                if cur is None or cand < cur:
+                    dp[p] = cand
+    best = 0
+    for p in range(total_profit, -1, -1):
+        if dp[p] is not None and dp[p] <= cap:
+            best = p
+            break
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Tier 2: vectorized numpy DP on rounded integer weights
+# ---------------------------------------------------------------------------
+
+
+def min_weight_for_profit_numpy(
+    weights64: np.ndarray, profits: Sequence[int], target: int
+) -> Optional[int]:
+    """Numpy counterpart of :func:`min_weight_for_profit`.
+
+    ``weights64`` must come from :func:`scale_weights_rounded`; the result
+    is in the same scaled units.
+    """
+    if target <= 0:
+        return 0
+    dp = np.full(target + 1, _INT64_INF, dtype=np.int64)
+    dp[0] = 0
+    shifted = np.empty_like(dp)
+    for w, t in zip(weights64.tolist(), profits):
+        if t <= 0:
+            continue
+        if t >= target:
+            # Taking this item alone reaches the target from dp[0].
+            if w < dp[target]:
+                dp[target] = w
+            continue
+        shifted[:t] = dp[0] + w
+        shifted[t:] = dp[:-t] + w
+        np.minimum(dp, shifted, out=dp)
+    result = int(dp[target])
+    return None if result >= int(_INT64_INF) else result
+
+
+def max_profit_under_numpy(
+    weights64: np.ndarray, profits: Sequence[int], cap: int
+) -> int:
+    """Numpy counterpart of :func:`max_profit_under` (scaled units)."""
+    if cap < 0:
+        return 0
+    total_profit = sum(t for t in profits if t > 0)
+    if total_profit == 0:
+        return 0
+    dp = np.full(total_profit + 1, _INT64_INF, dtype=np.int64)
+    dp[0] = 0
+    shifted = np.empty_like(dp)
+    for w, t in zip(weights64.tolist(), profits):
+        if t <= 0:
+            continue
+        shifted[:t] = dp[0] + w
+        shifted[t:] = dp[:-t] + w
+        np.minimum(dp, shifted, out=dp)
+    feasible = np.nonzero(dp <= np.int64(cap))[0]
+    return int(feasible[-1]) if feasible.size else 0
+
+
+# ---------------------------------------------------------------------------
+# Tier 3: quasilinear greedy bounds (the paper's quick checks)
+# ---------------------------------------------------------------------------
+
+
+def _density_order(
+    weights: Sequence[Fraction], profits: Sequence[int]
+) -> list[int]:
+    """Indices of profit-bearing items by non-increasing profit density."""
+    items = [i for i, t in enumerate(profits) if t > 0]
+    # Zero-weight profit-bearing items get infinite density; sort first by
+    # the zero-weight flag then by exact rational density.
+    return sorted(
+        items,
+        key=lambda i: (
+            0 if weights[i] == 0 else 1,
+            -Fraction(profits[i], 1) / weights[i] if weights[i] > 0 else 0,
+        ),
+    )
+
+
+def fractional_upper_bound(
+    weights: Sequence[Fraction], profits: Sequence[int], capacity: Fraction
+) -> Fraction:
+    """LP-relaxation value: an upper bound on the strict-capacity optimum.
+
+    Fills items in density order, taking a fractional piece of the first
+    item that no longer fits.  Computed with closed capacity, which only
+    weakens (never invalidates) the bound for the strict problem.
+    """
+    if capacity <= 0:
+        return Fraction(0)
+    value = Fraction(0)
+    remaining = capacity
+    for i in _density_order(weights, profits):
+        w, t = weights[i], profits[i]
+        if w == 0:
+            value += t
+            continue
+        if w <= remaining:
+            value += t
+            remaining -= w
+        else:
+            value += Fraction(t) * remaining / w
+            break
+    return value
+
+
+def greedy_lower_bound(
+    weights: Sequence[Fraction], profits: Sequence[int], capacity: Fraction
+) -> int:
+    """An *achievable* profit under the strict capacity.
+
+    Classic half-approximation: max of the density-greedy packing and the
+    best single feasible item.  Every value returned is realized by an
+    actual subset with ``w(S) < capacity``.
+    """
+    if capacity <= 0:
+        return 0
+    packed = 0
+    cum = Fraction(0)
+    best_single = 0
+    for i in _density_order(weights, profits):
+        w, t = weights[i], profits[i]
+        if cum + w < capacity:
+            packed += t
+            cum += w
+        if w < capacity and t > best_single:
+            best_single = t
+    return max(packed, best_single)

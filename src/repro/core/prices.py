@@ -1,0 +1,117 @@
+"""The Swiper ticket-assignment family ``t(s, k)`` (paper, Section 3.1).
+
+Swiper restricts its search to assignments of the form
+``t_i = floor(s * w_i + c)`` where parties "on the border" (those for which
+``s * w_i + c`` is an integer) may each give back one ticket, all but a
+deterministically chosen ``k`` of them.
+
+The crucial observation of the paper is that this two-index family is
+*totally ordered* by its total ticket count ``T(s, k)``, each member having
+exactly one more ticket than the previous one.  An equivalent and
+computationally convenient formulation: give party ``i`` an unbounded list
+of *ticket prices* ``(m - c) / w_i`` for ``m = 1, 2, ...``; the family
+member with total ``T0`` hands out the ``T0`` globally cheapest tickets
+(ties broken deterministically by party index, which realizes the
+"arbitrary yet deterministically chosen" border set ``K_{s,k}``).
+
+Proof of equivalence: ``floor(s*w_i + c) >= m  <=>  (m - c)/w_i <= s``, so
+the tickets priced at most ``s`` are exactly the tickets of the full floor
+assignment at scale ``s``; tickets priced exactly ``s`` belong to the
+border set ``B_s``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from fractions import Fraction
+from typing import Sequence
+
+__all__ = [
+    "assignment_for_total",
+    "total_at_scale",
+    "scale_for_total",
+    "ticket_price",
+]
+
+
+def ticket_price(weight: Fraction, c: Fraction, m: int) -> Fraction:
+    """Price of the ``m``-th ticket of a party with ``weight`` (``m >= 1``).
+
+    The party holds at least ``m`` tickets in the floor assignment at scale
+    ``s`` iff ``s >= (m - c) / weight``.
+    """
+    if weight <= 0:
+        raise ValueError("zero-weight parties have no ticket prices")
+    if m < 1:
+        raise ValueError("ticket index m starts at 1")
+    return (m - c) / weight
+
+
+def assignment_for_total(
+    weights: Sequence[Fraction], c: Fraction, total: int
+) -> list[int]:
+    """The unique family member with exactly ``total`` tickets.
+
+    Selects the ``total`` globally cheapest ticket prices using an exact
+    rational heap.  Runs in ``O(total * log n)`` exact-arithmetic steps.
+    Zero-weight parties never receive tickets (their prices are infinite).
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    n = len(weights)
+    tickets = [0] * n
+    if total == 0:
+        return tickets
+    # Heap entries: (price, party index, next ticket ordinal m).
+    # Tuple comparison on exact Fractions breaks ties by party index,
+    # giving the deterministic border-set choice the paper requires.
+    heap: list[tuple[Fraction, int, int]] = []
+    for i, w in enumerate(weights):
+        if w > 0:
+            heap.append(((1 - c) / w, i, 1))
+    if not heap:
+        raise ValueError("total weight W must be non-zero")
+    heapq.heapify(heap)
+    for _ in range(total):
+        price, i, m = heapq.heappop(heap)
+        tickets[i] += 1
+        heapq.heappush(heap, ((m + 1 - c) / weights[i], i, m + 1))
+    return tickets
+
+
+def total_at_scale(weights: Sequence[Fraction], c: Fraction, s: Fraction) -> int:
+    """Total tickets of the *full* floor assignment at scale ``s``:
+    ``sum_i floor(s * w_i + c)`` (i.e. ``T(s, |B_s|)``)."""
+    if s < 0:
+        raise ValueError("scale s must be non-negative")
+    total = 0
+    for w in weights:
+        if w > 0:
+            val = s * w + c
+            total += val.numerator // val.denominator
+    return total
+
+
+def scale_for_total(
+    weights: Sequence[Fraction], c: Fraction, total: int
+) -> Fraction:
+    """The smallest scale ``s`` whose full floor assignment reaches
+    ``total`` tickets -- i.e. the price of the ``total``-th cheapest ticket.
+
+    Provided for introspection and tests; the solver itself works directly
+    in "total tickets" space via :func:`assignment_for_total`.
+    """
+    if total < 1:
+        raise ValueError("total must be >= 1 to define a positive scale")
+    heap: list[tuple[Fraction, int, int]] = []
+    for i, w in enumerate(weights):
+        if w > 0:
+            heap.append(((1 - c) / w, i, 1))
+    if not heap:
+        raise ValueError("total weight W must be non-zero")
+    heapq.heapify(heap)
+    price = heap[0][0]
+    for _ in range(total):
+        price, i, m = heapq.heappop(heap)
+        heapq.heappush(heap, ((m + 1 - c) / weights[i], i, m + 1))
+    return price

@@ -1,0 +1,178 @@
+"""Definitions of the three weight reduction problems (paper, Section 2).
+
+Each problem takes real weights ``w_1..w_n`` and asks for integer ticket
+counts ``t_1..t_n`` minimizing ``T = sum(t_i)`` subject to a structural
+constraint relating weighty subsets to ticket-holding subsets:
+
+* :class:`WeightRestriction` (WR) -- any subset with less than an
+  ``alpha_w`` fraction of the weight gets less than an ``alpha_n`` fraction
+  of the tickets (Problem 1).
+* :class:`WeightQualification` (WQ) -- any subset with more than a
+  ``beta_w`` fraction of the weight gets more than a ``beta_n`` fraction of
+  the tickets (Problem 2).  WQ(beta_w, beta_n) is identical to
+  WR(1 - beta_w, 1 - beta_n) (Theorem 2.2).
+* :class:`WeightSeparation` (WS) -- any subset with more than a ``beta``
+  fraction of the weight gets strictly more tickets than any subset with
+  less than an ``alpha`` fraction (Problem 3).
+
+These classes are pure problem *descriptions*: parameter validation, the
+rounding constant ``c`` used by Swiper's ticket-assignment family, and the
+theoretical ticket upper bounds (Theorems 2.1, 2.4 and Corollary 2.3).
+The solver lives in :mod:`repro.core.solver`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from .types import Number, as_fraction
+
+__all__ = [
+    "WeightRestriction",
+    "WeightQualification",
+    "WeightSeparation",
+    "WeightReductionProblem",
+]
+
+
+def _check_open_unit(name: str, value: Fraction) -> None:
+    if not (0 < value < 1):
+        raise ValueError(f"{name} must lie strictly in (0, 1), got {value}")
+
+
+@dataclass(frozen=True)
+class WeightRestriction:
+    """Weight Restriction problem ``WR(alpha_w, alpha_n)`` (Problem 1).
+
+    Constraint: for every subset ``S`` with ``w(S) < alpha_w * W`` it must
+    hold that ``t(S) < alpha_n * T``.  Requires ``alpha_w < alpha_n``.
+    """
+
+    alpha_w: Fraction
+    alpha_n: Fraction
+
+    def __init__(self, alpha_w: Number, alpha_n: Number) -> None:
+        object.__setattr__(self, "alpha_w", as_fraction(alpha_w))
+        object.__setattr__(self, "alpha_n", as_fraction(alpha_n))
+        _check_open_unit("alpha_w", self.alpha_w)
+        _check_open_unit("alpha_n", self.alpha_n)
+        if not self.alpha_w < self.alpha_n:
+            raise ValueError(
+                f"WR requires alpha_w < alpha_n (Theorem 2.1); got "
+                f"alpha_w={self.alpha_w}, alpha_n={self.alpha_n}"
+            )
+
+    @property
+    def rounding_constant(self) -> Fraction:
+        """The constant ``c`` of the Swiper family; ``c = alpha_w`` for WR."""
+        return self.alpha_w
+
+    def ticket_bound(self, n: int) -> int:
+        """Theorem 2.1: a valid assignment exists with
+        ``T <= ceil(alpha_w * (1 - alpha_w) / (alpha_n - alpha_w) * n)``."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        value = self.alpha_w * (1 - self.alpha_w) / (self.alpha_n - self.alpha_w) * n
+        return math.ceil(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WR(alpha_w={self.alpha_w}, alpha_n={self.alpha_n})"
+
+
+@dataclass(frozen=True)
+class WeightQualification:
+    """Weight Qualification problem ``WQ(beta_w, beta_n)`` (Problem 2).
+
+    Constraint: for every subset ``S`` with ``w(S) > beta_w * W`` it must
+    hold that ``t(S) > beta_n * T``.  Requires ``beta_n < beta_w``.
+    """
+
+    beta_w: Fraction
+    beta_n: Fraction
+
+    def __init__(self, beta_w: Number, beta_n: Number) -> None:
+        object.__setattr__(self, "beta_w", as_fraction(beta_w))
+        object.__setattr__(self, "beta_n", as_fraction(beta_n))
+        _check_open_unit("beta_w", self.beta_w)
+        _check_open_unit("beta_n", self.beta_n)
+        if not self.beta_n < self.beta_w:
+            raise ValueError(
+                f"WQ requires beta_n < beta_w (Corollary 2.3); got "
+                f"beta_w={self.beta_w}, beta_n={self.beta_n}"
+            )
+
+    def to_restriction(self) -> WeightRestriction:
+        """The Theorem 2.2 reduction: ``WQ(bw, bn) == WR(1 - bw, 1 - bn)``.
+
+        Any valid solution of one is a valid solution of the other, so the
+        solver handles WQ by solving the reduced WR instance.
+        """
+        return WeightRestriction(1 - self.beta_w, 1 - self.beta_n)
+
+    @property
+    def rounding_constant(self) -> Fraction:
+        """``c = 1 - beta_w`` for WQ (Section 3.1), consistent with the
+        reduction to WR where ``c = alpha_w = 1 - beta_w``."""
+        return 1 - self.beta_w
+
+    def ticket_bound(self, n: int) -> int:
+        """Corollary 2.3: a valid assignment exists with
+        ``T <= ceil(beta_w * (1 - beta_w) / (beta_w - beta_n) * n)``."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        value = self.beta_w * (1 - self.beta_w) / (self.beta_w - self.beta_n) * n
+        return math.ceil(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WQ(beta_w={self.beta_w}, beta_n={self.beta_n})"
+
+
+@dataclass(frozen=True)
+class WeightSeparation:
+    """Weight Separation problem ``WS(alpha, beta)`` (Problem 3).
+
+    Constraint: for all subsets ``S1, S2`` with ``w(S1) < alpha * W`` and
+    ``w(S2) > beta * W`` it must hold that ``t(S1) < t(S2)``.  Requires
+    ``alpha < beta``.
+    """
+
+    alpha: Fraction
+    beta: Fraction
+
+    def __init__(self, alpha: Number, beta: Number) -> None:
+        object.__setattr__(self, "alpha", as_fraction(alpha))
+        object.__setattr__(self, "beta", as_fraction(beta))
+        _check_open_unit("alpha", self.alpha)
+        _check_open_unit("beta", self.beta)
+        if not self.alpha < self.beta:
+            raise ValueError(
+                f"WS requires alpha < beta (Theorem 2.4); got "
+                f"alpha={self.alpha}, beta={self.beta}"
+            )
+
+    @property
+    def rounding_constant(self) -> Fraction:
+        """``c = (alpha + beta) / 2`` for WS (Section 3.1, Appendix A.2)."""
+        return (self.alpha + self.beta) / 2
+
+    def ticket_bound(self, n: int) -> int:
+        """Theorem 2.4: a valid assignment exists with
+        ``T <= (alpha + beta) * (1 - alpha) / (beta - alpha) * n``.
+
+        Appendix A.2 shows any *invalid* assignment of the Swiper family has
+        strictly fewer tickets than this value, so ``ceil`` of it is a safe
+        "always valid" anchor for the solver's binary search.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        value = (self.alpha + self.beta) * (1 - self.alpha) / (self.beta - self.alpha) * n
+        return math.ceil(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WS(alpha={self.alpha}, beta={self.beta})"
+
+
+#: Union of the three problem descriptions accepted by the solver.
+WeightReductionProblem = WeightRestriction | WeightQualification | WeightSeparation

@@ -1,0 +1,128 @@
+"""Fundamental value types shared by the weight-reduction machinery.
+
+The paper maps large *real* weights ``w_1..w_n`` to small *integer* ticket
+counts ``t_1..t_n``.  Everything in :mod:`repro.core` manipulates weights as
+exact :class:`fractions.Fraction` values so that the strict inequalities in
+the problem definitions (``w(S) < alpha_w * W`` and friends) are decided
+without any rounding ambiguity, mirroring the paper's prototype which "uses
+the Fraction class to avoid any possible rounding errors" (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Iterator, Sequence, Union
+
+Number = Union[int, float, str, Fraction]
+
+__all__ = [
+    "Number",
+    "as_fraction",
+    "normalize_weights",
+    "TicketAssignment",
+]
+
+
+def as_fraction(value: Number) -> Fraction:
+    """Convert ``value`` to an exact :class:`~fractions.Fraction`.
+
+    Integers, strings (``"1/3"``, ``"0.25"``), :class:`~fractions.Fraction`
+    and floats are accepted.  Floats are converted *exactly* (binary
+    expansion), which is deterministic and never silently rounds.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("weights and thresholds must be numeric, not bool")
+    if isinstance(value, (int, str)):
+        return Fraction(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"non-finite value {value!r} is not a weight")
+        return Fraction(value)
+    raise TypeError(f"cannot interpret {value!r} as an exact rational")
+
+
+def normalize_weights(weights: Iterable[Number]) -> tuple[Fraction, ...]:
+    """Validate and convert a weight sequence to exact fractions.
+
+    Weights must be non-negative and at least one must be positive (the
+    paper's problems require ``W != 0``).
+    """
+    ws = tuple(as_fraction(w) for w in weights)
+    if not ws:
+        raise ValueError("weight vector must be non-empty")
+    for i, w in enumerate(ws):
+        if w < 0:
+            raise ValueError(f"weight #{i} is negative ({w}); weights are R>=0")
+    if not any(ws):
+        raise ValueError("total weight W must be non-zero")
+    return ws
+
+
+@dataclass(frozen=True)
+class TicketAssignment:
+    """An integer ticket assignment ``t_1..t_n`` (the solver's output).
+
+    Instances are immutable value objects.  ``tickets[i]`` is the number of
+    tickets given to party ``i``; the paper calls the units of the assigned
+    integer weights "tickets".
+    """
+
+    tickets: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tickets", tuple(int(t) for t in self.tickets))
+        for i, t in enumerate(self.tickets):
+            if t < 0:
+                raise ValueError(f"ticket count #{i} is negative ({t})")
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tickets)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.tickets)
+
+    def __getitem__(self, index: int) -> int:
+        return self.tickets[index]
+
+    # -- aggregate metrics used throughout the paper's evaluation -----------
+    @property
+    def total(self) -> int:
+        """``T``: the total number of tickets (the minimized objective)."""
+        return sum(self.tickets)
+
+    @property
+    def max_tickets(self) -> int:
+        """The largest number of tickets held by a single party."""
+        return max(self.tickets) if self.tickets else 0
+
+    @property
+    def holders(self) -> int:
+        """Number of parties holding at least one ticket ("# Holders")."""
+        return sum(1 for t in self.tickets if t > 0)
+
+    @property
+    def support(self) -> tuple[int, ...]:
+        """Indices of parties holding at least one ticket."""
+        return tuple(i for i, t in enumerate(self.tickets) if t > 0)
+
+    def subset_total(self, subset: Iterable[int]) -> int:
+        """``t(S)``: total tickets held by the parties in ``subset``."""
+        return sum(self.tickets[i] for i in subset)
+
+    def to_list(self) -> list[int]:
+        """Return the tickets as a plain list (defensive copy)."""
+        return list(self.tickets)
+
+    @staticmethod
+    def zeros(n: int) -> "TicketAssignment":
+        """The all-zero assignment over ``n`` parties (never *viable*)."""
+        return TicketAssignment(tickets=(0,) * n)
+
+
+def weight_of(weights: Sequence[Fraction], subset: Iterable[int]) -> Fraction:
+    """``w(S)``: total weight of the parties in ``subset``."""
+    return sum((weights[i] for i in subset), start=Fraction(0))

@@ -1,0 +1,349 @@
+"""Validity checking of ticket assignments (paper, Section 3.1).
+
+A Weight Restriction assignment is *viable* when ``T >= 1`` and no subset
+``S`` with ``w(S) < alpha_w * W`` collects ``t(S) >= ceil(alpha_n * T)``
+tickets.  Deciding this is a Knapsack instance; the checkers below layer
+the paper's architecture on top of :mod:`repro.core.knapsack`:
+
+* a *quick test* built from quasilinear bounds that answers
+  ``VALID`` / ``INVALID`` / ``UNCERTAIN`` (conservative + liberal checks);
+* a *full test* that resolves ``UNCERTAIN`` with dynamic programming --
+  first the sound two-sided numpy tier, then the exact big-integer tier.
+
+``--linear`` mode (paper terminology) maps ``UNCERTAIN`` to "invalid",
+which keeps the solver quasilinear and still never violates the theorem
+bounds, at the cost of possibly stopping above the family's local minimum.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import knapsack
+from .problems import (
+    WeightQualification,
+    WeightReductionProblem,
+    WeightRestriction,
+    WeightSeparation,
+)
+
+__all__ = ["Verdict", "CheckStats", "RestrictionChecker", "SeparationChecker", "make_checker"]
+
+#: Instances with ``n * profit_range`` at most this many DP cells skip the
+#: rounded numpy tier and run the exact DP directly (it is fast enough and
+#: avoids any fallback bookkeeping).
+_EXACT_DP_CELL_LIMIT = 2_000_000
+
+
+class Verdict(enum.Enum):
+    """Outcome of the three-valued quick test."""
+
+    VALID = "valid"
+    INVALID = "invalid"
+    UNCERTAIN = "uncertain"
+
+
+@dataclass
+class CheckStats:
+    """Counters describing how hard the checker had to work.
+
+    Used by the ablation benchmarks to reproduce the paper's claim that the
+    quick test filters out most knapsack invocations (Section 3.1).
+    """
+
+    checks: int = 0
+    quick_valid: int = 0
+    quick_invalid: int = 0
+    quick_uncertain: int = 0
+    dp_calls: int = 0
+    exact_fallbacks: int = 0
+
+    def merge(self, other: "CheckStats") -> None:
+        """Accumulate ``other`` into ``self``."""
+        self.checks += other.checks
+        self.quick_valid += other.quick_valid
+        self.quick_invalid += other.quick_invalid
+        self.quick_uncertain += other.quick_uncertain
+        self.dp_calls += other.dp_calls
+        self.exact_fallbacks += other.exact_fallbacks
+
+
+def _ceil_frac(x: Fraction) -> int:
+    """Smallest integer >= ``x``."""
+    return -((-x.numerator) // x.denominator)
+
+
+class _WeightsContext:
+    """Per-weight-vector caches shared by the checkers.
+
+    Holds the exact integer scaling and the two soundly-rounded int64
+    scalings, each computed lazily (the solver may never need them).
+    """
+
+    def __init__(self, weights: Sequence[Fraction]):
+        self.weights = tuple(weights)
+        self.total: Fraction = sum(self.weights, start=Fraction(0))
+        if self.total <= 0:
+            raise ValueError("total weight W must be positive")
+        self.n = len(self.weights)
+        self._exact: Optional[tuple[list[int], int]] = None
+        self._down: Optional[np.ndarray] = None
+        self._up: Optional[np.ndarray] = None
+
+    @property
+    def exact_scaled(self) -> tuple[list[int], int]:
+        """``(integer weights, common denominator)`` exact scaling."""
+        if self._exact is None:
+            self._exact = knapsack.scale_weights_exact(self.weights)
+        return self._exact
+
+    @property
+    def rounded_down(self) -> np.ndarray:
+        if self._down is None:
+            self._down = knapsack.scale_weights_rounded(
+                self.weights, self.total, round_up=False
+            )
+        return self._down
+
+    @property
+    def rounded_up(self) -> np.ndarray:
+        if self._up is None:
+            self._up = knapsack.scale_weights_rounded(
+                self.weights, self.total, round_up=True
+            )
+        return self._up
+
+
+class RestrictionChecker:
+    """Validity checker for Weight Restriction assignments.
+
+    Parameters
+    ----------
+    weights:
+        Exact rational weights (see :func:`repro.core.types.normalize_weights`).
+    problem:
+        The :class:`~repro.core.problems.WeightRestriction` instance.
+    use_quick_test:
+        Enable the quasilinear three-valued filter (paper default).  The
+        ablation benchmark disables it to measure the filter's speedup.
+    linear_mode:
+        Paper's ``--linear``: never run the DP; ``UNCERTAIN`` counts as
+        invalid.  Conservative and quasilinear.
+    """
+
+    def __init__(
+        self,
+        weights: Sequence[Fraction],
+        problem: WeightRestriction,
+        *,
+        use_quick_test: bool = True,
+        linear_mode: bool = False,
+    ) -> None:
+        self.ctx = _WeightsContext(weights)
+        self.problem = problem
+        self.use_quick_test = use_quick_test
+        self.linear_mode = linear_mode
+        self.stats = CheckStats()
+        #: strict capacity ``alpha_w * W`` of the violating-subset knapsack
+        self.capacity: Fraction = problem.alpha_w * self.ctx.total
+
+    def violation_target(self, total: int) -> int:
+        """Smallest ticket count that would violate ``t(S) < alpha_n * T``."""
+        return _ceil_frac(self.problem.alpha_n * Fraction(total))
+
+    # -- quick (quasilinear) test -------------------------------------------
+    def quick(self, tickets: Sequence[int], total: int) -> Verdict:
+        """Three-valued quick test from the greedy knapsack bounds."""
+        target = self.violation_target(total)
+        upper = knapsack.fractional_upper_bound(
+            self.ctx.weights, tickets, self.capacity
+        )
+        if upper < target:
+            return Verdict.VALID
+        lower = knapsack.greedy_lower_bound(self.ctx.weights, tickets, self.capacity)
+        if lower >= target:
+            return Verdict.INVALID
+        return Verdict.UNCERTAIN
+
+    # -- full (DP) test -------------------------------------------------------
+    def _dp_violating_subset_exists(self, tickets: Sequence[int], target: int) -> bool:
+        """Does some subset with ``w(S) < capacity`` reach ``target`` tickets?
+
+        Decided soundly: small instances run the exact DP; large ones run
+        the two rounded numpy passes and fall back to exact arithmetic only
+        if the passes disagree.
+        """
+        self.stats.dp_calls += 1
+        n_items = sum(1 for t in tickets if t > 0)
+        if n_items * target <= _EXACT_DP_CELL_LIMIT:
+            return self._dp_exact(tickets, target)
+        scaled_cap = knapsack.strict_cap_int(
+            self.problem.alpha_w * (1 << knapsack.SCALE_BITS)
+        )
+        mw_down = knapsack.min_weight_for_profit_numpy(
+            self.ctx.rounded_down, tickets, target
+        )
+        exists_down = mw_down is not None and mw_down <= scaled_cap
+        if not exists_down:
+            # Even with under-stated weights no subset violates: certified valid.
+            return False
+        mw_up = knapsack.min_weight_for_profit_numpy(
+            self.ctx.rounded_up, tickets, target
+        )
+        exists_up = mw_up is not None and mw_up <= scaled_cap
+        if exists_up:
+            # With over-stated weights a violating subset exists: certified.
+            return True
+        self.stats.exact_fallbacks += 1
+        return self._dp_exact(tickets, target)
+
+    def _dp_exact(self, tickets: Sequence[int], target: int) -> bool:
+        int_weights, denom = self.ctx.exact_scaled
+        cap = knapsack.strict_cap_int(self.capacity * denom)
+        mw = knapsack.min_weight_for_profit(int_weights, tickets, target)
+        return mw is not None and mw <= cap
+
+    # -- public decision -------------------------------------------------------
+    def check(self, tickets: Sequence[int], total: Optional[int] = None) -> bool:
+        """Decide viability of ``tickets`` for this WR instance."""
+        if total is None:
+            total = sum(tickets)
+        self.stats.checks += 1
+        if total <= 0:
+            return False
+        if self.use_quick_test:
+            verdict = self.quick(tickets, total)
+            if verdict is Verdict.VALID:
+                self.stats.quick_valid += 1
+                return True
+            if verdict is Verdict.INVALID:
+                self.stats.quick_invalid += 1
+                return False
+            self.stats.quick_uncertain += 1
+        if self.linear_mode:
+            # Conservative: cannot certify validity quasilinearly, reject.
+            return False
+        target = self.violation_target(total)
+        return not self._dp_violating_subset_exists(tickets, target)
+
+
+class SeparationChecker:
+    """Validity checker for Weight Separation assignments.
+
+    Valid iff ``K(alpha) + K(1 - beta) < T`` where ``K(g)`` is the maximum
+    ticket count over subsets with ``w(S) < g * W`` (the minimum over
+    qualified sets is ``T - K(1 - beta)`` by complementation).
+    """
+
+    def __init__(
+        self,
+        weights: Sequence[Fraction],
+        problem: WeightSeparation,
+        *,
+        use_quick_test: bool = True,
+        linear_mode: bool = False,
+    ) -> None:
+        self.ctx = _WeightsContext(weights)
+        self.problem = problem
+        self.use_quick_test = use_quick_test
+        self.linear_mode = linear_mode
+        self.stats = CheckStats()
+        self.cap_low: Fraction = problem.alpha * self.ctx.total
+        self.cap_high: Fraction = (1 - problem.beta) * self.ctx.total
+
+    # -- quick test -------------------------------------------------------------
+    def quick(self, tickets: Sequence[int], total: int) -> Verdict:
+        """Three-valued quick test from greedy bounds on both knapsacks."""
+        ub = knapsack.fractional_upper_bound(
+            self.ctx.weights, tickets, self.cap_low
+        ) + knapsack.fractional_upper_bound(self.ctx.weights, tickets, self.cap_high)
+        if ub < total:
+            return Verdict.VALID
+        lb = knapsack.greedy_lower_bound(
+            self.ctx.weights, tickets, self.cap_low
+        ) + knapsack.greedy_lower_bound(self.ctx.weights, tickets, self.cap_high)
+        if lb >= total:
+            return Verdict.INVALID
+        return Verdict.UNCERTAIN
+
+    # -- full test ---------------------------------------------------------------
+    def _max_profit_exact(self, tickets: Sequence[int], capacity: Fraction) -> int:
+        int_weights, denom = self.ctx.exact_scaled
+        cap = knapsack.strict_cap_int(capacity * denom)
+        return knapsack.max_profit_under(int_weights, tickets, cap)
+
+    def _full(self, tickets: Sequence[int], total: int) -> bool:
+        self.stats.dp_calls += 1
+        n_items = sum(1 for t in tickets if t > 0)
+        if n_items * max(total, 1) <= _EXACT_DP_CELL_LIMIT:
+            k1 = self._max_profit_exact(tickets, self.cap_low)
+            k2 = self._max_profit_exact(tickets, self.cap_high)
+            return k1 + k2 < total
+        scale_total = Fraction(1 << knapsack.SCALE_BITS)
+        cap_low = knapsack.strict_cap_int(self.problem.alpha * scale_total)
+        cap_high = knapsack.strict_cap_int((1 - self.problem.beta) * scale_total)
+        # Rounded-down weights enlarge the feasible family => upper bounds.
+        k1_hi = knapsack.max_profit_under_numpy(self.ctx.rounded_down, tickets, cap_low)
+        k2_hi = knapsack.max_profit_under_numpy(self.ctx.rounded_down, tickets, cap_high)
+        if k1_hi + k2_hi < total:
+            return True
+        # Rounded-up weights shrink it => achievable lower bounds.
+        k1_lo = knapsack.max_profit_under_numpy(self.ctx.rounded_up, tickets, cap_low)
+        k2_lo = knapsack.max_profit_under_numpy(self.ctx.rounded_up, tickets, cap_high)
+        if k1_lo + k2_lo >= total:
+            return False
+        self.stats.exact_fallbacks += 1
+        k1 = self._max_profit_exact(tickets, self.cap_low)
+        k2 = self._max_profit_exact(tickets, self.cap_high)
+        return k1 + k2 < total
+
+    # -- public decision -----------------------------------------------------------
+    def check(self, tickets: Sequence[int], total: Optional[int] = None) -> bool:
+        """Decide viability of ``tickets`` for this WS instance."""
+        if total is None:
+            total = sum(tickets)
+        self.stats.checks += 1
+        if total <= 0:
+            return False
+        if self.use_quick_test:
+            verdict = self.quick(tickets, total)
+            if verdict is Verdict.VALID:
+                self.stats.quick_valid += 1
+                return True
+            if verdict is Verdict.INVALID:
+                self.stats.quick_invalid += 1
+                return False
+            self.stats.quick_uncertain += 1
+        if self.linear_mode:
+            return False
+        return self._full(tickets, total)
+
+
+def make_checker(
+    problem: WeightReductionProblem,
+    weights: Sequence[Fraction],
+    *,
+    use_quick_test: bool = True,
+    linear_mode: bool = False,
+) -> "RestrictionChecker | SeparationChecker":
+    """Build the appropriate checker; WQ is checked via its WR reduction
+    (Theorem 2.2: the two validity predicates coincide)."""
+    if linear_mode:
+        # Linear mode is *defined* by relying on the quasilinear bounds only.
+        use_quick_test = True
+    if isinstance(problem, WeightQualification):
+        problem = problem.to_restriction()
+    if isinstance(problem, WeightRestriction):
+        return RestrictionChecker(
+            weights, problem, use_quick_test=use_quick_test, linear_mode=linear_mode
+        )
+    if isinstance(problem, WeightSeparation):
+        return SeparationChecker(
+            weights, problem, use_quick_test=use_quick_test, linear_mode=linear_mode
+        )
+    raise TypeError(f"unknown weight reduction problem: {problem!r}")

@@ -1,0 +1,42 @@
+"""Cryptographic substrate: fields, groups, secret sharing, VSS, DLEQ
+proofs, unique threshold signatures, threshold ElGamal, and common coins
+(paper, Sections 4 and 6)."""
+
+from .common_coin import CommonCoin, WeightedCoin
+from .dleq import DleqProof, prove_dleq, verify_dleq
+from .feldman import FeldmanCommitment, FeldmanDealing, FeldmanVSS
+from .field import DEFAULT_FIELD, PrimeField
+from .group import RFC3526_GROUP_2048, TEST_GROUP_256, SchnorrGroup
+from .polynomial import Polynomial, interpolate_at, lagrange_coefficients_at
+from .shamir import SecretSharing, Share, WeightedSharing, deal_weighted
+from .threshold_enc import Ciphertext, DecryptionShare, ThresholdElGamal
+from .threshold_sig import SignatureShare, ThresholdKeys, ThresholdSignatureScheme
+
+__all__ = [
+    "PrimeField",
+    "DEFAULT_FIELD",
+    "SchnorrGroup",
+    "TEST_GROUP_256",
+    "RFC3526_GROUP_2048",
+    "Polynomial",
+    "lagrange_coefficients_at",
+    "interpolate_at",
+    "Share",
+    "SecretSharing",
+    "WeightedSharing",
+    "deal_weighted",
+    "FeldmanVSS",
+    "FeldmanCommitment",
+    "FeldmanDealing",
+    "DleqProof",
+    "prove_dleq",
+    "verify_dleq",
+    "ThresholdSignatureScheme",
+    "ThresholdKeys",
+    "SignatureShare",
+    "ThresholdElGamal",
+    "Ciphertext",
+    "DecryptionShare",
+    "CommonCoin",
+    "WeightedCoin",
+]

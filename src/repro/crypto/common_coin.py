@@ -1,0 +1,113 @@
+"""Common coin / randomness beacon from unique threshold signatures.
+
+The paper's motivating application (Section 4.1): a trusted dealer shares
+a signing key; for each epoch the unique signature on the epoch number is
+hashed into an unpredictable, common random value.  Weighted operation
+assigns each party one *virtual signer* per ticket of a
+``WR(f_w, alpha_n)`` solution with ``alpha_n <= 1/2``: honest parties
+always hold enough shares to open the coin, corrupt parties never do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.types import TicketAssignment
+from .group import SchnorrGroup
+from .threshold_sig import SignatureShare, ThresholdSignatureScheme
+
+__all__ = ["CommonCoin", "WeightedCoin"]
+
+
+class CommonCoin:
+    """Nominal common coin over ``n`` signers with threshold ``k``."""
+
+    def __init__(self, group: SchnorrGroup, n: int, k: int, rng) -> None:
+        self.scheme = ThresholdSignatureScheme(group, n, k)
+        self.scheme.keygen(rng)
+        self.n = n
+        self.k = k
+
+    @staticmethod
+    def _epoch_message(epoch: int) -> bytes:
+        return b"coin-epoch|" + epoch.to_bytes(8, "big")
+
+    def share(self, signer: int, epoch: int, rng) -> SignatureShare:
+        """Signer's coin share for ``epoch`` (signers are 1-based)."""
+        return self.scheme.sign_share(signer, self._epoch_message(epoch), rng)
+
+    def verify_share(self, share: SignatureShare, epoch: int) -> bool:
+        """Publicly verify a coin share."""
+        return self.scheme.verify_share(share, self._epoch_message(epoch))
+
+    def open(self, shares: Sequence[SignatureShare], epoch: int) -> int:
+        """Combine ``k`` shares into the epoch's random value (a large int).
+
+        Uniqueness of the threshold signature makes the value independent
+        of which shares were combined -- every honest opener agrees.
+        """
+        sigma = self.scheme.combine(shares, self._epoch_message(epoch))
+        digest = hashlib.sha256(
+            b"coin-value|" + sigma.to_bytes((sigma.bit_length() + 7) // 8 or 1, "big")
+        ).digest()
+        return int.from_bytes(digest, "big")
+
+    def toss(self, shares: Sequence[SignatureShare], epoch: int) -> int:
+        """A single common coin bit for ``epoch``."""
+        return self.open(shares, epoch) & 1
+
+
+class WeightedCoin:
+    """Weighted coin: party ``i`` controls ``t_i`` virtual signers.
+
+    Built from a Weight Restriction solution (paper, Theorem 4.2): with
+    ``alpha_w = f_w`` and ``alpha_n <= 1/2`` the resulting blunt access
+    structure gives honest liveness and adversary exclusion.
+    """
+
+    def __init__(
+        self,
+        group: SchnorrGroup,
+        assignment: TicketAssignment | Sequence[int],
+        alpha_n,
+        rng,
+    ) -> None:
+        from fractions import Fraction
+        import math
+
+        tickets = list(assignment)
+        total = sum(tickets)
+        if total == 0:
+            raise ValueError("assignment has no tickets")
+        alpha = Fraction(alpha_n)
+        self.threshold = math.ceil(alpha * total)
+        self.total_shares = total
+        self.coin = CommonCoin(group, n=total, k=self.threshold, rng=rng)
+        # Virtual signer indices (1-based) owned by each party.
+        self.virtual_of_party: list[tuple[int, ...]] = []
+        cursor = 1
+        for t in tickets:
+            self.virtual_of_party.append(tuple(range(cursor, cursor + t)))
+            cursor += t
+
+    def shares_of_party(self, party: int, epoch: int, rng) -> list[SignatureShare]:
+        """All coin shares party ``party`` contributes (one per ticket)."""
+        return [
+            self.coin.share(v, epoch, rng) for v in self.virtual_of_party[party]
+        ]
+
+    def open_with_parties(
+        self, parties: Sequence[int], epoch: int, rng
+    ) -> int:
+        """Open the epoch coin using all shares of a coalition."""
+        shares: list[SignatureShare] = []
+        for p in parties:
+            shares.extend(self.shares_of_party(p, epoch, rng))
+        return self.coin.open(shares, epoch)
+
+    def coalition_can_open(self, parties: Sequence[int]) -> bool:
+        """Does the coalition control at least ``threshold`` virtual signers?"""
+        held = sum(len(self.virtual_of_party[p]) for p in parties)
+        return held >= self.threshold

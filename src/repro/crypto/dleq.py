@@ -1,0 +1,62 @@
+"""Chaum-Pedersen DLEQ proofs (non-interactive via Fiat-Shamir).
+
+A DLEQ proof convinces a verifier that two group elements share the same
+discrete logarithm: ``y1 = g1^x`` and ``y2 = g2^x``.  Threshold-signature
+and threshold-decryption shares attach one so that anybody can check a
+share against the signer's public key share *without pairings* -- this is
+what makes our BLS-style unique threshold signatures publicly verifiable
+in the offline environment (DESIGN.md, substitution 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .group import SchnorrGroup
+
+__all__ = ["DleqProof", "prove_dleq", "verify_dleq"]
+
+
+@dataclass(frozen=True)
+class DleqProof:
+    """A non-interactive equality-of-discrete-log proof ``(challenge, response)``."""
+
+    challenge: int
+    response: int
+
+
+def _challenge(
+    group: SchnorrGroup, g1: int, y1: int, g2: int, y2: int, a1: int, a2: int
+) -> int:
+    enc = group.encode_int
+    return group.hash_to_exponent(
+        enc(g1), enc(y1), enc(g2), enc(y2), enc(a1), enc(a2)
+    )
+
+
+def prove_dleq(
+    group: SchnorrGroup, x: int, g1: int, g2: int, rng
+) -> tuple[int, int, DleqProof]:
+    """Prove knowledge of ``x`` with ``y1 = g1^x`` and ``y2 = g2^x``.
+
+    Returns ``(y1, y2, proof)``.
+    """
+    y1 = group.power(g1, x)
+    y2 = group.power(g2, x)
+    w = group.random_exponent(rng)
+    a1 = group.power(g1, w)
+    a2 = group.power(g2, w)
+    c = _challenge(group, g1, y1, g2, y2, a1, a2)
+    r = (w - c * x) % group.order
+    return y1, y2, DleqProof(challenge=c, response=r)
+
+
+def verify_dleq(
+    group: SchnorrGroup, g1: int, y1: int, g2: int, y2: int, proof: DleqProof
+) -> bool:
+    """Verify a :class:`DleqProof` for the statement ``log_g1 y1 == log_g2 y2``."""
+    if not (group.is_member(y1) and group.is_member(y2)):
+        return False
+    a1 = group.power(g1, proof.response) * group.power(y1, proof.challenge) % group.p
+    a2 = group.power(g2, proof.response) * group.power(y2, proof.challenge) % group.p
+    return _challenge(group, g1, y1, g2, y2, a1, a2) == proof.challenge

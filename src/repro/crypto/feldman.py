@@ -1,0 +1,88 @@
+"""Feldman verifiable secret sharing (paper application, Section 4.2).
+
+Extends Shamir with public commitments ``C_j = g^{a_j}`` to the polynomial
+coefficients so every shareholder can verify its share against
+``g^{f(i)} = prod_j C_j^{i^j}`` without interaction.  The weighted version
+is obtained exactly as for plain Shamir: hand each party one share per
+ticket of a Weight Restriction solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .group import SchnorrGroup
+from .polynomial import Polynomial, interpolate_at
+from .shamir import Share
+
+__all__ = ["FeldmanCommitment", "FeldmanVSS", "FeldmanDealing"]
+
+
+@dataclass(frozen=True)
+class FeldmanCommitment:
+    """Public commitments ``(g^{a_0}, ..., g^{a_{k-1}})``."""
+
+    group: SchnorrGroup
+    values: tuple[int, ...]
+
+    @property
+    def public_key(self) -> int:
+        """``g^{secret}``: the commitment to the constant term."""
+        return self.values[0]
+
+    def expected_share_commitment(self, index: int) -> int:
+        """``g^{f(index)}`` computed from the coefficient commitments."""
+        acc = 1
+        power = 1
+        q = self.group.order
+        for c in self.values:
+            acc = acc * pow(c, power, self.group.p) % self.group.p
+            power = power * index % q
+        return acc
+
+    def verify_share(self, share: Share) -> bool:
+        """Check ``g^{share.value} == g^{f(share.index)}``."""
+        return self.group.exp_g(share.value) == self.expected_share_commitment(
+            share.index
+        )
+
+
+@dataclass(frozen=True)
+class FeldmanDealing:
+    """A dealer's output: the shares and the public commitment."""
+
+    shares: tuple[Share, ...]
+    commitment: FeldmanCommitment
+
+
+class FeldmanVSS:
+    """``(n, k)``-threshold Feldman VSS over a Schnorr group."""
+
+    def __init__(self, group: SchnorrGroup, n: int, k: int) -> None:
+        if not 1 <= k <= n:
+            raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+        self.group = group
+        self.field = group.exponent_field
+        self.n = n
+        self.k = k
+
+    def deal(self, secret: int, rng) -> FeldmanDealing:
+        """Share ``secret`` (an exponent) with public verifiability."""
+        poly = Polynomial.random(self.field, self.k - 1, rng, constant=secret)
+        coeffs = poly.coefficients + (0,) * (self.k - len(poly.coefficients))
+        commitment = FeldmanCommitment(
+            group=self.group,
+            values=tuple(self.group.exp_g(c) for c in coeffs),
+        )
+        shares = tuple(
+            Share(index=i, value=poly.evaluate(i)) for i in range(1, self.n + 1)
+        )
+        return FeldmanDealing(shares=shares, commitment=commitment)
+
+    def reconstruct(self, shares: Sequence[Share]) -> int:
+        """Recover the secret from ``k`` verified shares."""
+        if len({s.index for s in shares}) < self.k:
+            raise ValueError(f"need {self.k} distinct shares")
+        chosen = list({s.index: s for s in shares}.values())[: self.k]
+        return interpolate_at(self.field, [(s.index, s.value) for s in chosen])

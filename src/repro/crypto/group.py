@@ -1,0 +1,133 @@
+"""A Schnorr group: the prime-order subgroup of ``Z_p^*`` for a safe prime.
+
+Threshold signatures and threshold ElGamal (paper, Sections 4.1-4.3 and 6)
+need a cyclic group of prime order ``q`` with hard discrete log.  For a
+safe prime ``p = 2q + 1`` the quadratic residues form such a subgroup; any
+square generates it.  Hash-to-group squares a hash output, landing in the
+subgroup at an unknown discrete log -- exactly what BLS-style unique
+signatures require.
+
+Two groups ship by default: the RFC 3526 2048-bit MODP group (realistic
+parameter sizes) and a small 256-bit group for fast tests and simulations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from .field import PrimeField
+
+__all__ = ["SchnorrGroup", "RFC3526_GROUP_2048", "TEST_GROUP_256"]
+
+
+@dataclass(frozen=True)
+class SchnorrGroup:
+    """Prime-order subgroup of ``Z_p^*`` with ``p = 2q + 1``.
+
+    Attributes
+    ----------
+    p:
+        The safe prime modulus.
+    generator:
+        A generator of the order-``q`` subgroup of quadratic residues.
+    """
+
+    p: int
+    generator: int
+
+    def __post_init__(self) -> None:
+        if self.p % 2 == 0 or self.p < 7:
+            raise ValueError("modulus must be an odd prime >= 7")
+        q = (self.p - 1) // 2
+        if pow(self.generator, q, self.p) != 1 or self.generator in (0, 1):
+            raise ValueError("generator must generate the order-q subgroup")
+
+    @property
+    def order(self) -> int:
+        """``q``: the prime order of the subgroup."""
+        return (self.p - 1) // 2
+
+    @property
+    def exponent_field(self) -> PrimeField:
+        """``GF(q)``: the field Shamir polynomials over this group use."""
+        return PrimeField(self.order)
+
+    # -- group operations --------------------------------------------------------
+    def mul(self, a: int, b: int) -> int:
+        return a * b % self.p
+
+    def power(self, base: int, exponent: int) -> int:
+        return pow(base, exponent % self.order, self.p)
+
+    def inv(self, a: int) -> int:
+        return pow(a, self.p - 2, self.p)
+
+    def exp_g(self, exponent: int) -> int:
+        """``g^exponent`` for the fixed generator."""
+        return self.power(self.generator, exponent)
+
+    def is_member(self, a: int) -> bool:
+        """Subgroup membership: ``a^q == 1`` and ``0 < a < p``."""
+        return 0 < a < self.p and pow(a, self.order, self.p) == 1
+
+    # -- hashing -----------------------------------------------------------------
+    def hash_to_group(self, message: bytes) -> int:
+        """Map ``message`` to a subgroup element of unknown discrete log.
+
+        Squares ``sha256``-derived material mod ``p``; squares are exactly
+        the order-``q`` subgroup for a safe prime.
+        """
+        counter = 0
+        while True:
+            digest = hashlib.sha256(message + counter.to_bytes(4, "big")).digest()
+            candidate = int.from_bytes(
+                hashlib.sha512(digest).digest() * ((self.p.bit_length() // 512) + 1),
+                "big",
+            ) % self.p
+            if candidate not in (0, 1, self.p - 1):
+                return candidate * candidate % self.p
+            counter += 1
+
+    def hash_to_exponent(self, *parts: bytes) -> int:
+        """Fiat-Shamir challenge: hash transcript parts into ``GF(q)``."""
+        h = hashlib.sha256()
+        for part in parts:
+            h.update(len(part).to_bytes(8, "big"))
+            h.update(part)
+        return int.from_bytes(h.digest(), "big") % self.order
+
+    def random_exponent(self, rng) -> int:
+        """Uniform exponent in ``[0, q)``."""
+        return rng.randrange(self.order)
+
+    def encode_int(self, a: int) -> bytes:
+        """Fixed-width big-endian encoding for transcripts."""
+        width = (self.p.bit_length() + 7) // 8
+        return a.to_bytes(width, "big")
+
+
+#: RFC 3526, group 14 (2048-bit MODP).  p is a safe prime; 2 generates the
+#: subgroup of quadratic residues... in fact 2 has order 2q in this group,
+#: so we use 4 = 2^2, a square and hence an order-q generator.
+_RFC3526_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E08"
+    "8A67CC74020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B"
+    "302B0A6DF25F14374FE1356D6D51C245E485B576625E7EC6F44C42E9"
+    "A637ED6B0BFF5CB6F406B7EDEE386BFB5A899FA5AE9F24117C4B1FE6"
+    "49286651ECE45B3DC2007CB8A163BF0598DA48361C55D39A69163FA8"
+    "FD24CF5F83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3BE39E772C"
+    "180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFF"
+    "FFFFFFFF",
+    16,
+)
+
+RFC3526_GROUP_2048 = SchnorrGroup(p=_RFC3526_P, generator=4)
+
+#: A 256-bit safe prime group for tests and simulation speed:
+#: p = 2q + 1 with both p and q prime (verified at import via PrimeField
+#: in exponent_field and the SchnorrGroup invariant).
+_TEST_P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF72EF
+TEST_GROUP_256 = SchnorrGroup(p=_TEST_P, generator=4)

@@ -1,0 +1,116 @@
+"""Polynomials over a prime field and Lagrange interpolation.
+
+Shamir secret sharing evaluates a random degree-``k-1`` polynomial;
+reconstruction interpolates it back at zero.  Threshold signatures combine
+signature shares "in the exponent" using the same Lagrange coefficients,
+so the coefficient computation is exposed separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .field import PrimeField
+
+__all__ = ["Polynomial", "lagrange_coefficients_at", "interpolate_at"]
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A polynomial ``c_0 + c_1 x + ... + c_d x^d`` over ``field``.
+
+    Coefficients are canonical residues; the zero polynomial has an empty
+    coefficient tuple.
+    """
+
+    field: PrimeField
+    coefficients: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        canon = tuple(self.field.element(c) for c in self.coefficients)
+        # Strip leading (high-degree) zeros for a canonical representation.
+        last = len(canon)
+        while last > 0 and canon[last - 1] == 0:
+            last -= 1
+        object.__setattr__(self, "coefficients", canon[:last])
+
+    @property
+    def degree(self) -> int:
+        """Degree; ``-1`` for the zero polynomial."""
+        return len(self.coefficients) - 1
+
+    def evaluate(self, x: int) -> int:
+        """Horner evaluation at ``x``."""
+        acc = 0
+        for c in reversed(self.coefficients):
+            acc = (acc * x + c) % self.field.modulus
+        return acc
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        if self.field != other.field:
+            raise ValueError("polynomials over different fields")
+        a, b = self.coefficients, other.coefficients
+        if len(a) < len(b):
+            a, b = b, a
+        coeffs = list(a)
+        for i, c in enumerate(b):
+            coeffs[i] = self.field.add(coeffs[i], c)
+        return Polynomial(self.field, tuple(coeffs))
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        if self.field != other.field:
+            raise ValueError("polynomials over different fields")
+        if not self.coefficients or not other.coefficients:
+            return Polynomial(self.field, ())
+        out = [0] * (len(self.coefficients) + len(other.coefficients) - 1)
+        for i, a in enumerate(self.coefficients):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coefficients):
+                out[i + j] = (out[i + j] + a * b) % self.field.modulus
+        return Polynomial(self.field, tuple(out))
+
+    @staticmethod
+    def random(field: PrimeField, degree: int, rng, *, constant: int | None = None) -> "Polynomial":
+        """Uniformly random polynomial of exactly the given ``degree``
+        (leading coefficient non-zero), optionally pinning the constant
+        term (the Shamir secret)."""
+        if degree < 0:
+            raise ValueError("degree must be non-negative")
+        coeffs = [field.random_element(rng) for _ in range(degree + 1)]
+        if constant is not None:
+            coeffs[0] = field.element(constant)
+        if degree > 0:
+            coeffs[degree] = field.random_nonzero(rng)
+        return Polynomial(field, tuple(coeffs))
+
+
+def lagrange_coefficients_at(
+    field: PrimeField, xs: Sequence[int], point: int = 0
+) -> list[int]:
+    """Lagrange basis coefficients ``lambda_i`` such that
+    ``f(point) = sum_i lambda_i * f(xs[i])`` for every polynomial ``f`` of
+    degree below ``len(xs)``.  The ``xs`` must be distinct field elements.
+    """
+    if len(set(x % field.modulus for x in xs)) != len(xs):
+        raise ValueError("interpolation points must be distinct")
+    coeffs = []
+    for i, xi in enumerate(xs):
+        num, den = 1, 1
+        for j, xj in enumerate(xs):
+            if i == j:
+                continue
+            num = num * ((point - xj) % field.modulus) % field.modulus
+            den = den * ((xi - xj) % field.modulus) % field.modulus
+        coeffs.append(field.mul(num, field.inv(den)))
+    return coeffs
+
+
+def interpolate_at(
+    field: PrimeField, points: Sequence[tuple[int, int]], point: int = 0
+) -> int:
+    """Evaluate at ``point`` the unique polynomial through ``points``."""
+    xs = [x for x, _ in points]
+    lambdas = lagrange_coefficients_at(field, xs, point)
+    return field.sum(field.mul(lam, y) for lam, (_, y) in zip(lambdas, points))

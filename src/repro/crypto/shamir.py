@@ -1,0 +1,145 @@
+"""Shamir secret sharing with first-class *weighted* (virtual-user) support.
+
+Plain ``(n, k)``-threshold sharing follows [Shamir 1979]: the dealer draws
+a random degree-``k-1`` polynomial with the secret as constant term and
+hands out evaluations.  The paper's weighted construction (Section 4.1)
+gives party ``i`` a number ``t_i`` of shares -- one per ticket from a
+Weight Restriction solution -- so that any coalition holding
+``ceil(alpha_n * T)`` shares can reconstruct and no coalition below the
+weight threshold can.  :func:`deal_weighted` implements exactly that
+"virtual users" layout with a deterministic ticket-to-share-index map.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.types import TicketAssignment
+from .field import DEFAULT_FIELD, PrimeField
+from .polynomial import Polynomial, interpolate_at
+
+__all__ = ["Share", "SecretSharing", "WeightedSharing", "deal_weighted"]
+
+
+@dataclass(frozen=True)
+class Share:
+    """One Shamir share: the evaluation ``value = f(index)``, ``index >= 1``."""
+
+    index: int
+    value: int
+
+
+class SecretSharing:
+    """``(n, k)``-threshold Shamir scheme over ``field``.
+
+    Any ``k`` distinct shares reconstruct the secret; fewer reveal nothing
+    (information-theoretically).
+    """
+
+    def __init__(self, n: int, k: int, field: PrimeField = DEFAULT_FIELD) -> None:
+        if not 1 <= k <= n:
+            raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+        if n >= field.modulus:
+            raise ValueError("field too small for the share count")
+        self.n = n
+        self.k = k
+        self.field = field
+
+    def deal(self, secret: int, rng) -> list[Share]:
+        """Split ``secret`` into ``n`` shares (indices ``1..n``)."""
+        poly = Polynomial.random(self.field, self.k - 1, rng, constant=secret)
+        return [Share(index=i, value=poly.evaluate(i)) for i in range(1, self.n + 1)]
+
+    def reconstruct(self, shares: Sequence[Share]) -> int:
+        """Recover the secret from at least ``k`` distinct shares."""
+        if len({s.index for s in shares}) < self.k:
+            raise ValueError(f"need {self.k} distinct shares, got {len(shares)}")
+        chosen = list({s.index: s for s in shares}.values())[: self.k]
+        return interpolate_at(self.field, [(s.index, s.value) for s in chosen])
+
+
+@dataclass(frozen=True)
+class WeightedSharing:
+    """Output of :func:`deal_weighted`.
+
+    Attributes
+    ----------
+    shares_by_party:
+        ``party -> list of shares`` (party ``i`` receives ``t_i`` shares;
+        parties with zero tickets receive none).
+    threshold:
+        ``ceil(alpha_n * T)``: the number of shares needed to reconstruct.
+    total_shares:
+        ``T``: total shares dealt.
+    field:
+        The coefficient field used.
+    """
+
+    shares_by_party: tuple[tuple[Share, ...], ...]
+    threshold: int
+    total_shares: int
+    field: PrimeField
+
+    def shares_of(self, parties: Sequence[int]) -> list[Share]:
+        """All shares held by a coalition of parties."""
+        out: list[Share] = []
+        for p in parties:
+            out.extend(self.shares_by_party[p])
+        return out
+
+    def can_reconstruct(self, parties: Sequence[int]) -> bool:
+        """Does the coalition hold at least ``threshold`` shares?"""
+        return len(self.shares_of(parties)) >= self.threshold
+
+    def reconstruct(self, parties: Sequence[int]) -> int:
+        """Reconstruct the secret from a coalition's shares."""
+        shares = self.shares_of(parties)
+        if len(shares) < self.threshold:
+            raise ValueError(
+                f"coalition holds {len(shares)} shares, needs {self.threshold}"
+            )
+        return interpolate_at(
+            self.field, [(s.index, s.value) for s in shares[: self.threshold]]
+        )
+
+
+def deal_weighted(
+    secret: int,
+    assignment: TicketAssignment | Sequence[int],
+    alpha_n,
+    rng,
+    field: PrimeField = DEFAULT_FIELD,
+) -> WeightedSharing:
+    """Weighted Shamir sharing via virtual users (paper, Section 4.1).
+
+    Party ``i`` receives ``t_i`` consecutive share indices; reconstruction
+    needs ``ceil(alpha_n * T)`` shares.  With tickets from
+    ``WR(alpha_w=f_w, alpha_n)`` and ``alpha_n <= 1/2``, honest parties
+    (holding more than ``(1 - alpha_n) T >= ceil(alpha_n T)`` tickets) can
+    always reconstruct while corrupt coalitions never can.
+    """
+    tickets = list(assignment)
+    total = sum(tickets)
+    if total == 0:
+        raise ValueError("assignment has no tickets")
+    from fractions import Fraction
+
+    alpha = Fraction(alpha_n)
+    if not 0 < alpha < 1:
+        raise ValueError("alpha_n must be in (0, 1)")
+    threshold = math.ceil(alpha * total)
+    scheme = SecretSharing(n=total, k=threshold, field=field)
+    flat = scheme.deal(secret, rng)
+    shares_by_party: list[tuple[Share, ...]] = []
+    cursor = 0
+    for t in tickets:
+        shares_by_party.append(tuple(flat[cursor : cursor + t]))
+        cursor += t
+    return WeightedSharing(
+        shares_by_party=tuple(shares_by_party),
+        threshold=threshold,
+        total_shares=total,
+        field=field,
+    )

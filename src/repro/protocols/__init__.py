@@ -1,0 +1,46 @@
+"""Distributed protocols: Bracha broadcast, AVID, online-error-correction
+dissemination, randomness beacon, VABA (+ black-box weighted version),
+SSLE, and PoS checkpointing (paper, Sections 4-6)."""
+
+from .avid import AvidParty, fragment_digest
+from .checkpointing import CheckpointParty, CheckpointShare, CheckpointVote
+from .common_coin import BeaconParty, CoinShareMsg
+from .ec_broadcast import EcParty, GarbageEcParty, OnlineDecoder
+from .reliable_broadcast import (
+    BroadcastParty,
+    EquivocatingSender,
+    RbcEcho,
+    RbcReady,
+    RbcSend,
+    SilentParty,
+)
+from .smr import BatchSend, SmrParty, batch_position
+from .ssle import ElectionResult, SsleElection, chain_quality
+from .vaba import VabaParty, WeightedVabaRunner
+
+__all__ = [
+    "BroadcastParty",
+    "EquivocatingSender",
+    "SilentParty",
+    "RbcSend",
+    "RbcEcho",
+    "RbcReady",
+    "AvidParty",
+    "fragment_digest",
+    "EcParty",
+    "GarbageEcParty",
+    "OnlineDecoder",
+    "BeaconParty",
+    "CoinShareMsg",
+    "VabaParty",
+    "WeightedVabaRunner",
+    "SmrParty",
+    "BatchSend",
+    "batch_position",
+    "SsleElection",
+    "ElectionResult",
+    "chain_quality",
+    "CheckpointParty",
+    "CheckpointShare",
+    "CheckpointVote",
+]

@@ -1,0 +1,196 @@
+"""Asynchronous Verifiable Information Dispersal (paper, Section 5.1).
+
+A simplified Cachin-Tessaro AVID: the dealer Reed-Solomon-encodes the
+data, commits to the fragment vector with a hash list, and sends each
+party its fragment(s) plus the commitment.  Parties that find their
+fragments consistent echo the commitment; a storage quorum of echoes
+makes the data *stored* (retrievable despite ``f`` faults).  Retrieval
+collects hash-verified fragments and erasure-decodes.
+
+Nominal layout: ``(t+1, n)`` coding, one fragment per party, storage
+quorum ``2t + 1``.  Weighted layout (``qualification_setup``): ``(ceil(
+beta_n T), T)`` coding, ``t_i`` fragments for party ``i``, storage quorum
+weight above ``2 f_w W`` -- the fragments held by the honest part (weight
+above ``f_w W``) of any storage quorum suffice to reconstruct because the
+WQ constraint qualifies every such subset (Section 5.1's argument).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..codes.reed_solomon import Fragment, ReedSolomon
+from ..sim.process import Party
+from ..weighted.quorum import QuorumPolicy
+from ..weighted.virtual import VirtualUserMap
+
+__all__ = ["AvidDisperse", "AvidEcho", "AvidRetrieveRequest", "AvidFragments", "AvidParty", "fragment_digest"]
+
+
+def fragment_digest(fragments: Sequence[Fragment]) -> bytes:
+    """Commitment: hash of the per-fragment hash list (all ``m`` fragments)."""
+    h = hashlib.sha256()
+    for f in fragments:
+        h.update(f.index.to_bytes(4, "big"))
+        h.update(hashlib.sha256(f.value.to_bytes(4, "big")).digest())
+    return h.digest()
+
+
+@dataclass(frozen=True)
+class AvidDisperse:
+    """Dealer -> party: the party's fragments, the full hash list, metadata."""
+
+    fragments: tuple[Fragment, ...]
+    hash_list: tuple[bytes, ...]
+    commitment: bytes
+    data_shards: int
+    total_shards: int
+
+    def wire_size(self) -> int:
+        return 64 + 4 * len(self.fragments) + 32 * len(self.hash_list)
+
+
+@dataclass(frozen=True)
+class AvidEcho:
+    """Party -> all: my fragments are consistent with this commitment."""
+
+    commitment: bytes
+
+    def wire_size(self) -> int:
+        return 64 + 32
+
+
+@dataclass(frozen=True)
+class AvidRetrieveRequest:
+    """Retriever -> all: please send your fragments for this commitment."""
+
+    commitment: bytes
+
+    def wire_size(self) -> int:
+        return 64 + 32
+
+
+@dataclass(frozen=True)
+class AvidFragments:
+    """Party -> retriever: stored fragments."""
+
+    commitment: bytes
+    fragments: tuple[Fragment, ...]
+
+    def wire_size(self) -> int:
+        return 64 + 32 + 4 * len(self.fragments)
+
+
+def _hash_fragment(f: Fragment) -> bytes:
+    return hashlib.sha256(f.value.to_bytes(4, "big")).digest()
+
+
+class AvidParty(Party):
+    """One AVID participant (dealer, storer, and potential retriever)."""
+
+    def __init__(
+        self,
+        pid: int,
+        quorums: QuorumPolicy,
+        *,
+        on_stored: Optional[Callable[[int, bytes], None]] = None,
+        on_retrieved: Optional[Callable[[int, bytes], None]] = None,
+    ) -> None:
+        super().__init__(pid)
+        self.quorums = quorums
+        self.on_stored = on_stored
+        self.on_retrieved = on_retrieved
+        self.stored_commitment: Optional[bytes] = None
+        self.my_fragments: tuple[Fragment, ...] = ()
+        self.hash_list: tuple[bytes, ...] = ()
+        self.data_shards = 0
+        self.total_shards = 0
+        self.retrieved: Optional[list[int]] = None
+        self._echo_senders: dict[bytes, set[int]] = {}
+        self._collected: dict[int, Fragment] = {}
+        self.on(AvidDisperse, self._handle_disperse)
+        self.on(AvidEcho, self._handle_echo)
+        self.on(AvidRetrieveRequest, self._handle_retrieve_request)
+        self.on(AvidFragments, self._handle_fragments)
+
+    # -- dealer side --------------------------------------------------------------
+    def disperse(
+        self,
+        data: Sequence[int],
+        code: ReedSolomon,
+        vmap: VirtualUserMap,
+    ) -> bytes:
+        """Encode ``data`` and send each party its fragments.
+
+        ``vmap`` maps fragment indices to parties (one fragment per
+        virtual user); the nominal case uses the identity assignment.
+        Returns the commitment.
+        """
+        fragments = code.encode(list(data))
+        self.bump("encode_symbols", code.m * code.k)
+        hash_list = tuple(_hash_fragment(f) for f in fragments)
+        commitment = fragment_digest(fragments)
+        assert self.network is not None
+        for party in self.network.party_ids:
+            mine = tuple(fragments[v] for v in vmap.virtual_ids(party))
+            self.send(
+                party,
+                AvidDisperse(
+                    fragments=mine,
+                    hash_list=hash_list,
+                    commitment=commitment,
+                    data_shards=code.k,
+                    total_shards=code.m,
+                ),
+            )
+        return commitment
+
+    # -- storer side -----------------------------------------------------------------
+    def _handle_disperse(self, message: AvidDisperse, sender: int) -> None:
+        for f in message.fragments:
+            if _hash_fragment(f) != message.hash_list[f.index]:
+                return  # inconsistent dealer; refuse to echo
+        self.my_fragments = message.fragments
+        self.hash_list = message.hash_list
+        self.data_shards = message.data_shards
+        self.total_shards = message.total_shards
+        self.broadcast(AvidEcho(message.commitment))
+
+    def _handle_echo(self, message: AvidEcho, sender: int) -> None:
+        senders = self._echo_senders.setdefault(message.commitment, set())
+        senders.add(sender)
+        if self.stored_commitment is None and self.quorums.storage_quorum(senders):
+            self.stored_commitment = message.commitment
+            self.bump("stored")
+            if self.on_stored is not None:
+                self.on_stored(self.pid, message.commitment)
+
+    # -- retriever side ----------------------------------------------------------------
+    def retrieve(self, commitment: bytes) -> None:
+        """Ask every party for its fragments of ``commitment``."""
+        self._collected.clear()
+        self.retrieved = None
+        self.broadcast(AvidRetrieveRequest(commitment))
+
+    def _handle_retrieve_request(self, message: AvidRetrieveRequest, sender: int) -> None:
+        if self.my_fragments and self.stored_commitment == message.commitment:
+            self.send(
+                sender,
+                AvidFragments(commitment=message.commitment, fragments=self.my_fragments),
+            )
+
+    def _handle_fragments(self, message: AvidFragments, sender: int) -> None:
+        if self.retrieved is not None or not self.hash_list:
+            return
+        for f in message.fragments:
+            if f.index < len(self.hash_list) and _hash_fragment(f) == self.hash_list[f.index]:
+                self._collected[f.index] = f
+        if len(self._collected) >= self.data_shards:
+            code = ReedSolomon(k=self.data_shards, m=self.total_shards)
+            data = code.decode_erasures(list(self._collected.values()))
+            self.bump("decode_symbols", code.work_counter)
+            self.retrieved = data
+            if self.on_retrieved is not None:
+                self.on_retrieved(self.pid, bytes(0))

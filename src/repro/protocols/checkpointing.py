@@ -1,0 +1,134 @@
+"""Proof-of-stake checkpointing with blunt and tight threshold signatures
+(paper, Sections 4.3 and 6.3).
+
+Every ``interval`` blocks the validator set co-signs a checkpoint hash.
+Two flavors:
+
+* **blunt** -- parties holding tickets sign immediately with their
+  virtual signers; a checkpoint certificate forms when ``ceil(alpha_n T)``
+  shares combine.  Safety/liveness follow from the blunt access
+  structure (Theorem 4.2).
+* **tight** -- one extra vote round (:class:`~repro.weighted.tight.TightGate`):
+  shares are only revealed after votes of weight above ``beta W``
+  arrived, upgrading the access structure to the weighted threshold
+  ``A_w(beta)`` at the cost of exactly one message delay per checkpoint
+  (the paper's claim, measured by the benchmark).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..crypto.threshold_sig import SignatureShare, ThresholdSignatureScheme
+from ..sim.process import Party
+from ..weighted.tight import TightGate
+from ..weighted.virtual import VirtualUserMap
+
+__all__ = ["CheckpointVote", "CheckpointShare", "CheckpointParty"]
+
+
+@dataclass(frozen=True)
+class CheckpointVote:
+    """Tight mode's weightless pre-vote for signing a checkpoint."""
+
+    checkpoint: bytes
+
+    def wire_size(self) -> int:
+        return 64 + 32
+
+
+@dataclass(frozen=True)
+class CheckpointShare:
+    """One virtual signer's share over the checkpoint hash."""
+
+    checkpoint: bytes
+    share: SignatureShare
+
+    def wire_size(self) -> int:
+        return 64 + 32 + 96
+
+
+class CheckpointParty(Party):
+    """A validator in the checkpointing protocol.
+
+    ``mode`` is ``"blunt"`` or ``"tight"``; tight mode wires a
+    :class:`TightGate` per checkpoint before revealing shares.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        scheme: ThresholdSignatureScheme,
+        vmap: VirtualUserMap,
+        rng: random.Random,
+        *,
+        mode: str = "blunt",
+        weights=None,
+        beta=None,
+        on_certified: Optional[Callable[[int, bytes, int], None]] = None,
+    ) -> None:
+        super().__init__(pid)
+        if mode not in ("blunt", "tight"):
+            raise ValueError("mode must be 'blunt' or 'tight'")
+        if mode == "tight" and (weights is None or beta is None):
+            raise ValueError("tight mode needs weights and beta")
+        self.scheme = scheme
+        self.vmap = vmap
+        self.rng = rng
+        self.mode = mode
+        self.weights = weights
+        self.beta = beta
+        self.on_certified = on_certified
+        self.certificates: dict[bytes, int] = {}
+        self._shares: dict[bytes, dict[int, SignatureShare]] = {}
+        self._gates: dict[bytes, TightGate] = {}
+        self._shared: set[bytes] = set()
+        self.on(CheckpointVote, self._handle_vote)
+        self.on(CheckpointShare, self._handle_share)
+
+    # -- initiation -----------------------------------------------------------
+    def sign_checkpoint(self, checkpoint: bytes) -> None:
+        """Participate in certifying ``checkpoint``."""
+        if self.mode == "blunt":
+            self._reveal_shares(checkpoint)
+        else:
+            self.broadcast(CheckpointVote(checkpoint))
+
+    def _reveal_shares(self, checkpoint: bytes) -> None:
+        if checkpoint in self._shared:
+            return
+        self._shared.add(checkpoint)
+        for vid in self.vmap.virtual_ids(self.pid):
+            share = self.scheme.sign_share(vid + 1, checkpoint, self.rng)
+            self.bump("shares_signed")
+            self.broadcast(CheckpointShare(checkpoint=checkpoint, share=share))
+
+    # -- tight-mode vote round ---------------------------------------------------
+    def _handle_vote(self, message: CheckpointVote, sender: int) -> None:
+        gate = self._gates.get(message.checkpoint)
+        if gate is None:
+            gate = TightGate(self.weights, self.beta)
+            self._gates[message.checkpoint] = gate
+        if gate.add_vote(sender):
+            self._reveal_shares(message.checkpoint)
+
+    # -- share collection ----------------------------------------------------------
+    def _handle_share(self, message: CheckpointShare, sender: int) -> None:
+        if message.checkpoint in self.certificates:
+            return
+        if not self.scheme.verify_share(message.share, message.checkpoint):
+            self.bump("invalid_shares")
+            return
+        self.bump("shares_verified")
+        bucket = self._shares.setdefault(message.checkpoint, {})
+        bucket[message.share.index] = message.share
+        if len(bucket) >= self.scheme.k:
+            signature = self.scheme.combine(
+                list(bucket.values()), message.checkpoint, verify=False
+            )
+            self.certificates[message.checkpoint] = signature
+            self.bump("certificates")
+            if self.on_certified is not None:
+                self.on_certified(self.pid, message.checkpoint, signature)

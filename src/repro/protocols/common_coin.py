@@ -1,0 +1,74 @@
+"""Distributed randomness beacon protocol (paper, Sections 4.1 and 6.1).
+
+Wraps :class:`repro.crypto.common_coin.WeightedCoin` in network messages:
+each party broadcasts the signature shares of all its virtual signers for
+an epoch; every party combines the first ``ceil(alpha_n T)`` verified
+shares it receives and obtains the *same* value (threshold uniqueness).
+Corrupt parties cannot predict the value before some honest party starts
+the epoch, because they hold fewer than ``alpha_n T`` shares (WR).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..crypto.common_coin import WeightedCoin
+from ..crypto.threshold_sig import SignatureShare
+from ..sim.process import Party
+
+__all__ = ["CoinShareMsg", "BeaconParty"]
+
+
+@dataclass(frozen=True)
+class CoinShareMsg:
+    """One virtual signer's coin share for an epoch."""
+
+    epoch: int
+    share: SignatureShare
+
+    def wire_size(self) -> int:
+        return 64 + 96  # share value + DLEQ proof
+
+
+class BeaconParty(Party):
+    """One beacon participant controlling ``t_i`` virtual signers."""
+
+    def __init__(
+        self,
+        pid: int,
+        coin: WeightedCoin,
+        rng: random.Random,
+        *,
+        on_value: Optional[Callable[[int, int, int], None]] = None,
+    ) -> None:
+        super().__init__(pid)
+        self.coin = coin
+        self.rng = rng
+        self.on_value = on_value
+        self.values: dict[int, int] = {}
+        self._pending: dict[int, dict[int, SignatureShare]] = {}
+        self.on(CoinShareMsg, self._handle_share)
+
+    def start_epoch(self, epoch: int) -> None:
+        """Contribute this party's shares for ``epoch`` (one per ticket)."""
+        for share in self.coin.shares_of_party(self.pid, epoch, self.rng):
+            self.bump("shares_signed")
+            self.broadcast(CoinShareMsg(epoch=epoch, share=share))
+
+    def _handle_share(self, message: CoinShareMsg, sender: int) -> None:
+        if message.epoch in self.values:
+            return
+        if not self.coin.coin.verify_share(message.share, message.epoch):
+            self.bump("invalid_shares")
+            return
+        self.bump("shares_verified")
+        bucket = self._pending.setdefault(message.epoch, {})
+        bucket[message.share.index] = message.share
+        if len(bucket) >= self.coin.threshold:
+            value = self.coin.coin.open(list(bucket.values()), message.epoch)
+            self.values[message.epoch] = value
+            self.bump("epochs_opened")
+            if self.on_value is not None:
+                self.on_value(self.pid, message.epoch, value)

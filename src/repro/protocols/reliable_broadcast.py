@@ -1,0 +1,124 @@
+"""Bracha reliable broadcast, parameterized by a quorum policy.
+
+The canonical SEND / ECHO / READY protocol [Bracha-Toueg 1985]: totality
+and agreement come from quorum intersection, so the *same* code runs in
+the nominal model (count thresholds) and the weighted model (weighted
+voting) -- the paper's Section 1.2 observation.  Byzantine behaviors used
+by the tests live here too (equivocating sender, silent parties).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..sim.process import Party
+from ..weighted.quorum import QuorumPolicy
+
+__all__ = [
+    "RbcSend",
+    "RbcEcho",
+    "RbcReady",
+    "BroadcastParty",
+    "EquivocatingSender",
+    "SilentParty",
+]
+
+
+@dataclass(frozen=True)
+class RbcSend:
+    """Sender's initial message carrying the broadcast payload."""
+
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class RbcEcho:
+    """Second-phase echo of the payload."""
+
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class RbcReady:
+    """Third-phase readiness declaration."""
+
+    payload: bytes
+
+
+class BroadcastParty(Party):
+    """An honest Bracha participant.
+
+    ``delivered`` holds the delivered payload once totality triggers; the
+    ``on_deliver`` callback (if any) fires exactly once.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        quorums: QuorumPolicy,
+        *,
+        on_deliver: Optional[Callable[[int, bytes], None]] = None,
+    ) -> None:
+        super().__init__(pid)
+        self.quorums = quorums
+        self.on_deliver = on_deliver
+        self.delivered: Optional[bytes] = None
+        self._echoed = False
+        self._readied = False
+        self._echo_senders: dict[bytes, set[int]] = {}
+        self._ready_senders: dict[bytes, set[int]] = {}
+        self.on(RbcSend, self._handle_send)
+        self.on(RbcEcho, self._handle_echo)
+        self.on(RbcReady, self._handle_ready)
+
+    # -- protocol steps ----------------------------------------------------------
+    def broadcast_value(self, payload: bytes) -> None:
+        """Initiate a broadcast as the designated sender."""
+        self.broadcast(RbcSend(payload))
+
+    def _handle_send(self, message: RbcSend, sender: int) -> None:
+        if not self._echoed:
+            self._echoed = True
+            self.broadcast(RbcEcho(message.payload))
+
+    def _handle_echo(self, message: RbcEcho, sender: int) -> None:
+        senders = self._echo_senders.setdefault(message.payload, set())
+        senders.add(sender)
+        if not self._readied and self.quorums.echo_quorum(senders):
+            self._readied = True
+            self.broadcast(RbcReady(message.payload))
+
+    def _handle_ready(self, message: RbcReady, sender: int) -> None:
+        senders = self._ready_senders.setdefault(message.payload, set())
+        senders.add(sender)
+        if not self._readied and self.quorums.ready_amplify(senders):
+            self._readied = True
+            self.broadcast(RbcReady(message.payload))
+        if self.delivered is None and self.quorums.deliver_quorum(senders):
+            self.delivered = message.payload
+            self.bump("deliveries")
+            if self.on_deliver is not None:
+                self.on_deliver(self.pid, message.payload)
+
+
+class EquivocatingSender(BroadcastParty):
+    """Byzantine sender: sends one payload to half the parties and a
+    different one to the rest.  Agreement must still hold among honest
+    receivers (at most one of the two can gather quorums)."""
+
+    def broadcast_two(self, payload_a: bytes, payload_b: bytes) -> None:
+        assert self.network is not None
+        ids = self.network.party_ids
+        half = len(ids) // 2
+        for dst in ids[:half]:
+            self.send(dst, RbcSend(payload_a))
+        for dst in ids[half:]:
+            self.send(dst, RbcSend(payload_b))
+
+
+class SilentParty(Party):
+    """Byzantine omission: receives everything, says nothing."""
+
+    def receive(self, message, sender: int) -> None:  # noqa: D401
+        return

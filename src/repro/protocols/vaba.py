@@ -1,0 +1,318 @@
+"""Validated (asynchronous) Byzantine agreement and its black-box
+weighted transformation (paper, Definition 4.3 and Section 4.4).
+
+The nominal protocol here is a deliberately compact round-based VABA in
+the style of [Cachin et al. 2001]: parties broadcast signed proposals,
+a common coin retro-actively elects a round leader, parties vote for the
+leader's (externally valid) proposal, and a vote quorum decides.  The
+asynchronous adversary controls message timing through the simulator's
+delay model; the coin's unpredictability makes the leader un-biasable, so
+the protocol terminates in expected O(1) rounds.
+
+The black-box weighted version (:class:`WeightedVabaParty`) runs the
+*same* nominal logic among ``T`` virtual users mapped onto real parties
+by a ``WR(f_n - eps, f_n)`` solution; real parties with zero tickets
+receive the output from vouching messages of weight more than ``f_w W``
+(the Section 4.4 output rule).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..sim.process import Party
+from ..weighted.virtual import VirtualUserMap
+
+__all__ = ["Proposal", "Vote", "Decide", "Vouch", "VabaParty", "WeightedVabaRunner"]
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """A party's proposal for a round."""
+
+    round: int
+    value: bytes
+
+    def wire_size(self) -> int:
+        return 64 + len(self.value)
+
+
+@dataclass(frozen=True)
+class Vote:
+    """A vote for the elected leader's value in a round."""
+
+    round: int
+    value: bytes
+
+    def wire_size(self) -> int:
+        return 64 + len(self.value)
+
+
+@dataclass(frozen=True)
+class Commit:
+    """Once-per-party commitment to a value.
+
+    The commit layer is what makes agreement round-independent: an honest
+    party commits at most one value in its lifetime, so two commit
+    quorums of size ``n - t`` for different values would have to share
+    ``n - 2t >= t + 1`` honest double-committers -- impossible.
+    """
+
+    value: bytes
+
+    def wire_size(self) -> int:
+        return 64 + len(self.value)
+
+
+@dataclass(frozen=True)
+class Decide:
+    """Decision announcement (forwarded for totality)."""
+
+    value: bytes
+
+    def wire_size(self) -> int:
+        return 64 + len(self.value)
+
+
+@dataclass(frozen=True)
+class Vouch:
+    """Weighted output rule: real parties vouch for the decided value so
+    zero-ticket parties can output (Section 4.4, output mapping)."""
+
+    value: bytes
+
+    def wire_size(self) -> int:
+        return 64 + len(self.value)
+
+
+def _coin_value(seed: int, rnd: int, n: int) -> int:
+    """Deterministic unpredictable-enough round coin for the simulation.
+
+    Stands in for a threshold-signature coin (implemented for real in
+    :mod:`repro.protocols.common_coin`); hashing the (seed, round) pair
+    keeps every party in agreement while being uncorrelated with
+    proposals made before the round closes.
+    """
+    digest = hashlib.sha256(f"vaba-coin|{seed}|{rnd}".encode()).digest()
+    return int.from_bytes(digest, "big") % n
+
+
+class VabaParty(Party):
+    """Nominal VABA participant (n parties, < n/3 Byzantine).
+
+    ``validity_predicate`` implements external validity; invalid values
+    are never proposed, voted for, or decided by honest parties.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        t: int,
+        *,
+        coin_seed: int = 0,
+        validity_predicate: Optional[Callable[[bytes], bool]] = None,
+        on_decide: Optional[Callable[[int, bytes], None]] = None,
+    ) -> None:
+        super().__init__(pid)
+        self.n = n
+        self.t = t
+        self.coin_seed = coin_seed
+        self.validity = validity_predicate or (lambda value: True)
+        self.on_decide = on_decide
+        self.decided: Optional[bytes] = None
+        self.input_value: Optional[bytes] = None
+        self.round = 0
+        self.max_rounds = 64  # safety valve for simulation runs
+        self._proposals: dict[int, dict[int, bytes]] = {}
+        self._voted_rounds: set[int] = set()
+        self._advanced_rounds: set[int] = set()
+        self._votes: dict[tuple[int, bytes], set[int]] = {}
+        self.committed: Optional[bytes] = None
+        self._commit_senders: dict[bytes, set[int]] = {}
+        self._decide_senders: dict[bytes, set[int]] = {}
+        self.on(Proposal, self._handle_proposal)
+        self.on(Vote, self._handle_vote)
+        self.on(Commit, self._handle_commit)
+        self.on(Decide, self._handle_decide)
+
+    # -- protocol ----------------------------------------------------------------
+    def propose(self, value: bytes) -> None:
+        """Start the protocol with an externally valid input."""
+        if not self.validity(value):
+            raise ValueError("input does not satisfy the validity predicate")
+        self.input_value = value
+        self._start_round(0)
+
+    def _start_round(self, rnd: int) -> None:
+        if self.decided is not None or rnd > self.max_rounds:
+            return
+        self.round = max(self.round, rnd)
+        assert self.input_value is not None
+        self.broadcast(Proposal(round=rnd, value=self.input_value))
+
+    def _handle_proposal(self, message: Proposal, sender: int) -> None:
+        if self.decided is not None or not self.validity(message.value):
+            return
+        bucket = self._proposals.setdefault(message.round, {})
+        bucket.setdefault(sender, message.value)
+        self._try_progress(message.round)
+
+    def _try_progress(self, rnd: int) -> None:
+        """Re-evaluated on every proposal arrival for round ``rnd``.
+
+        Once ``n - t`` proposals are in, the round's coin elects a leader
+        retroactively.  A party votes as soon as it holds the leader's
+        proposal, and (independently) advances to the next round so that
+        rounds keep progressing even when the leader stays silent.
+        Agreement argument: within a round all honest votes carry the
+        leader's value as each honest party saw it, and two values can
+        only both reach ``n - t`` votes if ``n <= 3t`` -- excluded.
+        Across rounds, a decision quorum retires at least ``t + 1``
+        honest parties, leaving fewer than ``n - t`` possible voters.
+        """
+        bucket = self._proposals.get(rnd, {})
+        if len(bucket) < self.n - self.t:
+            return
+        leader = _coin_value(self.coin_seed, rnd, self.n)
+        if rnd not in self._voted_rounds and leader in bucket:
+            self._voted_rounds.add(rnd)
+            self.bump("coin_flips")
+            self.broadcast(Vote(round=rnd, value=bucket[leader]))
+        if rnd not in self._advanced_rounds:
+            self._advanced_rounds.add(rnd)
+            # Adopt the leader's value when known to converge inputs.
+            self.input_value = bucket.get(leader, next(iter(bucket.values())))
+            self._start_round(rnd + 1)
+
+    def _handle_vote(self, message: Vote, sender: int) -> None:
+        if self.decided is not None or not self.validity(message.value):
+            return
+        key = (message.round, message.value)
+        senders = self._votes.setdefault(key, set())
+        senders.add(sender)
+        if len(senders) >= self.n - self.t:
+            self._commit(message.value)
+
+    def _commit(self, value: bytes) -> None:
+        """Commit once, forever: the safety anchor (see :class:`Commit`)."""
+        if self.committed is not None:
+            return
+        self.committed = value
+        self.input_value = value  # future proposals carry the commitment
+        self.broadcast(Commit(value=value))
+
+    def _handle_commit(self, message: Commit, sender: int) -> None:
+        if not self.validity(message.value):
+            return
+        senders = self._commit_senders.setdefault(message.value, set())
+        senders.add(sender)
+        # Amplify: t+1 commits contain an honest one, safe to join.
+        if len(senders) >= self.t + 1:
+            self._commit(message.value)
+        if len(senders) >= self.n - self.t:
+            self._decide(message.value)
+
+    def _decide(self, value: bytes) -> None:
+        if self.decided is not None:
+            return
+        self.decided = value
+        self.bump("decisions")
+        self.broadcast(Decide(value=value))
+        if self.on_decide is not None:
+            self.on_decide(self.pid, value)
+
+    def _handle_decide(self, message: Decide, sender: int) -> None:
+        if not self.validity(message.value):
+            return
+        senders = self._decide_senders.setdefault(message.value, set())
+        senders.add(sender)
+        if len(senders) >= self.t + 1:
+            self._decide(message.value)
+
+
+class WeightedVabaRunner:
+    """Black-box weighted VABA: virtual users inside one real network.
+
+    Builds one :class:`VabaParty` per *virtual* user; real party ``i``
+    drives the virtual parties ``vmap.virtual_ids(i)`` with its input and
+    takes the output of its first virtual identity (Section 4.4's
+    input/output mapping).  Zero-ticket parties receive ``Vouch``
+    messages and output once vouches of weight above ``f_w W`` agree.
+    """
+
+    def __init__(
+        self,
+        vmap: VirtualUserMap,
+        weights: Sequence,
+        f_w,
+        *,
+        coin_seed: int = 0,
+        validity_predicate: Optional[Callable[[bytes], bool]] = None,
+    ) -> None:
+        from fractions import Fraction
+
+        from ..core.types import as_fraction, normalize_weights
+
+        self.vmap = vmap
+        self.weights = normalize_weights(weights)
+        self.f_w = as_fraction(f_w)
+        self.total_weight = sum(self.weights, start=Fraction(0))
+        self.coin_seed = coin_seed
+        self.validity = validity_predicate
+        total = vmap.total_virtual
+        # Nominal fault budget: strictly below f_n * T corrupted virtual
+        # users is guaranteed by WR; the nominal protocol gets t = that max.
+        self.n_virtual = total
+        self.outputs: dict[int, bytes] = {}
+
+    def virtual_fault_budget(self, f_n) -> int:
+        from ..core.types import as_fraction
+
+        value = as_fraction(f_n) * self.n_virtual
+        if value.denominator == 1:
+            return value.numerator - 1
+        return value.numerator // value.denominator
+
+    def build_parties(self, f_n, on_decide: Callable[[int, bytes], None]):
+        """One VabaParty per virtual user (pids are virtual ids)."""
+        t = self.virtual_fault_budget(f_n)
+        return [
+            VabaParty(
+                vid,
+                self.n_virtual,
+                t,
+                coin_seed=self.coin_seed,
+                validity_predicate=self.validity,
+                on_decide=on_decide,
+            )
+            for vid in range(self.n_virtual)
+        ]
+
+    def real_output(self, virtual_outputs: dict[int, bytes]) -> dict[int, bytes]:
+        """Map virtual decisions back to real parties.
+
+        Parties with tickets output their first virtual identity's value;
+        zero-ticket parties take the value vouched for by real parties of
+        weight above ``f_w * W``.
+        """
+        from fractions import Fraction
+
+        real: dict[int, bytes] = {}
+        vouch_weight: dict[bytes, Fraction] = {}
+        for party in range(self.vmap.n_parties):
+            ids = self.vmap.virtual_ids(party)
+            if len(ids) > 0 and ids[0] in virtual_outputs:
+                value = virtual_outputs[ids[0]]
+                real[party] = value
+                vouch_weight[value] = vouch_weight.get(value, Fraction(0)) + self.weights[party]
+        threshold = self.f_w * self.total_weight
+        vouched = [v for v, w in vouch_weight.items() if w > threshold]
+        if vouched:
+            fallback = vouched[0]
+            for party in range(self.vmap.n_parties):
+                real.setdefault(party, fallback)
+        return real

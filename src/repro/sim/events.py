@@ -1,0 +1,94 @@
+"""Discrete-event scheduler: the heart of the asynchronous network model.
+
+Asynchrony in the paper's model means messages between honest parties are
+delivered after finite but adversarially chosen delays.  The simulator
+realizes this as a priority queue of timed events; delay models and
+adversarial schedulers (see :mod:`repro.sim.network`) choose the times.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Simulator"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """A minimal deterministic discrete-event simulator.
+
+    Events scheduled for the same instant run in scheduling order, making
+    entire protocol executions reproducible for a fixed RNG seed.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[_Event] = []
+        self._counter = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        event = _Event(time=self.now + delay, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: _Event) -> None:
+        """Cancel a previously scheduled event (lazy removal)."""
+        event.cancelled = True
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled queued events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Drain the event queue.
+
+        Stops when the queue empties, simulated time passes ``until``,
+        ``max_events`` have been processed, or ``stop_when()`` turns true.
+        """
+        processed = 0
+        while self._queue:
+            if stop_when is not None and stop_when():
+                return
+            if max_events is not None and processed >= max_events:
+                return
+            nxt = self._queue[0]
+            if nxt.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and nxt.time > until:
+                return
+            self.step()
+            processed += 1

@@ -1,0 +1,66 @@
+"""Party abstraction: a state machine reacting to delivered messages.
+
+Protocol implementations subclass :class:`Party` and register handlers by
+message class.  Byzantine behaviors are subclasses overriding the honest
+logic (equivocating, withholding, or garbling); crash faults simply stop
+processing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Callable, Optional, Type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+
+__all__ = ["Party"]
+
+
+class Party:
+    """A protocol participant identified by an integer ``pid``.
+
+    Subclasses register message handlers with :meth:`on` (usually in
+    ``__init__``) or override :meth:`receive` wholesale.
+    """
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self.network: Optional["Network"] = None
+        self.crashed = False
+        self._handlers: dict[Type, Callable] = {}
+        #: free-form counters protocols use for computation metrics
+        self.counters: dict[str, int] = defaultdict(int)
+
+    # -- wiring -----------------------------------------------------------------
+    def on(self, message_type: Type, handler: Callable) -> None:
+        """Register ``handler(message, sender)`` for ``message_type``."""
+        self._handlers[message_type] = handler
+
+    def receive(self, message, sender: int) -> None:
+        """Entry point invoked by the network on delivery."""
+        if self.crashed:
+            return
+        handler = self._handlers.get(type(message))
+        if handler is not None:
+            handler(message, sender)
+
+    # -- sending ----------------------------------------------------------------
+    def send(self, dst: int, message) -> None:
+        if self.network is None:
+            raise RuntimeError(f"party {self.pid} is not attached to a network")
+        self.network.send(self.pid, dst, message)
+
+    def broadcast(self, message, *, include_self: bool = True) -> None:
+        if self.network is None:
+            raise RuntimeError(f"party {self.pid} is not attached to a network")
+        self.network.broadcast(self.pid, message, include_self=include_self)
+
+    # -- fault injection -----------------------------------------------------------
+    def crash(self) -> None:
+        """Stop reacting to any further message (crash fault)."""
+        self.crashed = True
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a named computation counter."""
+        self.counters[counter] += amount

@@ -1,0 +1,61 @@
+"""Execution harness: wire parties to a network, run, collect metrics."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from .events import Simulator
+from .network import DelayModel, Network, NetworkMetrics, UniformDelay
+from .process import Party
+
+__all__ = ["World", "build_world"]
+
+
+@dataclass
+class World:
+    """A simulator + network + parties bundle."""
+
+    simulator: Simulator
+    network: Network
+    parties: list[Party]
+
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Run the simulation to quiescence or a stop condition."""
+        self.simulator.run(until=until, max_events=max_events, stop_when=stop_when)
+
+    @property
+    def metrics(self) -> NetworkMetrics:
+        return self.network.metrics
+
+    def party(self, pid: int) -> Party:
+        return self.network.parties[pid]
+
+    def total_counter(self, name: str) -> int:
+        """Sum a named computation counter over all parties."""
+        return sum(p.counters.get(name, 0) for p in self.parties)
+
+
+def build_world(
+    party_factory: Callable[[int], Party],
+    n: int,
+    *,
+    delay_model: Optional[DelayModel] = None,
+    seed: int = 0,
+) -> World:
+    """Create ``n`` parties via ``party_factory(pid)`` on a fresh network."""
+    simulator = Simulator()
+    network = Network(simulator, delay_model or UniformDelay(), seed=seed)
+    parties = []
+    for pid in range(n):
+        party = party_factory(pid)
+        network.register(party)
+        parties.append(party)
+    return World(simulator=simulator, network=network, parties=parties)

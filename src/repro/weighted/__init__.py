@@ -1,0 +1,44 @@
+"""The weighted-model layer: access structures, quorum policies, virtual
+users, and the paper's transformations (Sections 4-5)."""
+
+from .access import (
+    NominalThresholdAccess,
+    TicketThresholdAccess,
+    WeightedAdversaryStructure,
+    WeightedThresholdAccess,
+    is_blunt_for,
+)
+from .quorum import NominalQuorums, QuorumPolicy, WeightedQuorums
+from .tight import TightGate
+from .transform import (
+    BlackBoxSetup,
+    BluntSetup,
+    ErrorCorrectionSetup,
+    QualificationSetup,
+    black_box_setup,
+    blunt_setup,
+    error_correction_setup,
+    qualification_setup,
+)
+from .virtual import VirtualUserMap
+
+__all__ = [
+    "NominalThresholdAccess",
+    "WeightedThresholdAccess",
+    "TicketThresholdAccess",
+    "WeightedAdversaryStructure",
+    "is_blunt_for",
+    "QuorumPolicy",
+    "NominalQuorums",
+    "WeightedQuorums",
+    "VirtualUserMap",
+    "TightGate",
+    "BluntSetup",
+    "BlackBoxSetup",
+    "QualificationSetup",
+    "ErrorCorrectionSetup",
+    "blunt_setup",
+    "black_box_setup",
+    "qualification_setup",
+    "error_correction_setup",
+]

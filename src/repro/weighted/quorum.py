@@ -1,0 +1,105 @@
+"""Quorum policies: nominal counting vs. weighted voting (Section 1.2).
+
+Many protocols only need "wait until enough confirmations"; the weighted
+translation replaces a count threshold with a weight-fraction threshold.
+Protocols in :mod:`repro.protocols` are parameterized by a
+:class:`QuorumPolicy` so the same code runs nominally or weighted -- the
+paper's observation that weighted voting alone converts the quorum-based
+parts of a protocol with no resilience loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from ..core.types import Number, as_fraction, normalize_weights
+
+__all__ = ["QuorumPolicy", "NominalQuorums", "WeightedQuorums"]
+
+
+class QuorumPolicy:
+    """Threshold predicates a Bracha-style broadcast needs.
+
+    ``echo_quorum``: enough ECHOs to become ready (intersects any other
+    echo quorum in an honest party).  ``ready_amplify``: enough READYs to
+    echo the readiness even without an echo quorum.  ``deliver_quorum``:
+    enough READYs to deliver.  ``storage_quorum``: enough stored-fragment
+    acks for dispersal completeness (AVID).
+    """
+
+    def echo_quorum(self, senders: Iterable[int]) -> bool:
+        raise NotImplementedError
+
+    def ready_amplify(self, senders: Iterable[int]) -> bool:
+        raise NotImplementedError
+
+    def deliver_quorum(self, senders: Iterable[int]) -> bool:
+        raise NotImplementedError
+
+    def storage_quorum(self, senders: Iterable[int]) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NominalQuorums(QuorumPolicy):
+    """Classic ``n = 3t + 1`` thresholds: echo/deliver at ``n - t``,
+    ready amplification at ``t + 1``, storage at ``2t + 1``."""
+
+    n: int
+    t: int
+
+    def __post_init__(self) -> None:
+        if not (self.n >= 3 * self.t + 1 and self.t >= 0):
+            raise ValueError("nominal quorums require n >= 3t + 1")
+
+    def _count(self, senders: Iterable[int]) -> int:
+        return len(set(senders))
+
+    def echo_quorum(self, senders: Iterable[int]) -> bool:
+        return self._count(senders) >= self.n - self.t
+
+    def ready_amplify(self, senders: Iterable[int]) -> bool:
+        return self._count(senders) >= self.t + 1
+
+    def deliver_quorum(self, senders: Iterable[int]) -> bool:
+        return self._count(senders) >= self.n - self.t
+
+    def storage_quorum(self, senders: Iterable[int]) -> bool:
+        return self._count(senders) >= 2 * self.t + 1
+
+
+@dataclass(frozen=True)
+class WeightedQuorums(QuorumPolicy):
+    """Weighted-voting thresholds with resilience ``f_w`` (default 1/3):
+    echo/deliver above ``(1 - f_w) W``, ready amplification above
+    ``f_w W``, storage above ``2 f_w W``."""
+
+    weights: tuple[Fraction, ...]
+    f_w: Fraction
+
+    def __init__(self, weights: Sequence[Number], f_w: Number = Fraction(1, 3)) -> None:
+        object.__setattr__(self, "weights", normalize_weights(weights))
+        object.__setattr__(self, "f_w", as_fraction(f_w))
+        if not 0 < self.f_w < Fraction(1, 2):
+            raise ValueError("f_w must be in (0, 1/2)")
+
+    @property
+    def total(self) -> Fraction:
+        return sum(self.weights, start=Fraction(0))
+
+    def weight(self, senders: Iterable[int]) -> Fraction:
+        return sum((self.weights[i] for i in set(senders)), start=Fraction(0))
+
+    def echo_quorum(self, senders: Iterable[int]) -> bool:
+        return self.weight(senders) > (1 - self.f_w) * self.total
+
+    def ready_amplify(self, senders: Iterable[int]) -> bool:
+        return self.weight(senders) > self.f_w * self.total
+
+    def deliver_quorum(self, senders: Iterable[int]) -> bool:
+        return self.weight(senders) > (1 - self.f_w) * self.total
+
+    def storage_quorum(self, senders: Iterable[int]) -> bool:
+        return self.weight(senders) > 2 * self.f_w * self.total

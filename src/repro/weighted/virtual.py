@@ -1,0 +1,86 @@
+"""Virtual-user mapping: the mechanical core of the black-box transform.
+
+A Weight Restriction solution hands party ``i`` a number ``t_i`` of
+tickets; the transformation (paper, Sections 4.2 and 4.4) instantiates a
+nominal protocol with ``T = sum(t_i)`` *virtual users* and lets party
+``i`` control ``t_i`` of them.  This module is the deterministic
+bookkeeping: globally agreed virtual ids, owner lookup, and corruption
+accounting.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.types import TicketAssignment
+
+__all__ = ["VirtualUserMap"]
+
+
+@dataclass(frozen=True)
+class VirtualUserMap:
+    """Deterministic bijection between tickets and virtual user ids.
+
+    Virtual ids are ``0 .. T-1``, assigned to parties in party-index order
+    -- every honest party computes the identical map from the (common
+    knowledge) ticket assignment, which is what lets nominal protocols run
+    unmodified (paper: "it is sufficient for all parties to run an agreed
+    upon deterministic weight-restriction protocol").
+    """
+
+    tickets: tuple[int, ...]
+    _starts: tuple[int, ...]
+
+    def __init__(self, assignment: TicketAssignment | Sequence[int]) -> None:
+        tickets = tuple(int(t) for t in assignment)
+        starts = []
+        acc = 0
+        for t in tickets:
+            starts.append(acc)
+            acc += t
+        object.__setattr__(self, "tickets", tickets)
+        object.__setattr__(self, "_starts", tuple(starts))
+
+    @property
+    def n_parties(self) -> int:
+        return len(self.tickets)
+
+    @property
+    def total_virtual(self) -> int:
+        """``T``: number of virtual users."""
+        return self._starts[-1] + self.tickets[-1] if self.tickets else 0
+
+    def virtual_ids(self, party: int) -> range:
+        """Virtual ids controlled by ``party``."""
+        start = self._starts[party]
+        return range(start, start + self.tickets[party])
+
+    def owner(self, virtual_id: int) -> int:
+        """The party controlling ``virtual_id``."""
+        if not 0 <= virtual_id < self.total_virtual:
+            raise IndexError(f"virtual id {virtual_id} out of range")
+        idx = bisect_right(self._starts, virtual_id) - 1
+        # Skip zero-ticket parties whose start collides with the next.
+        while self.tickets[idx] == 0 or virtual_id >= self._starts[idx] + self.tickets[idx]:
+            idx += 1
+        return idx
+
+    def corrupted_virtual(self, corrupt_parties: Iterable[int]) -> set[int]:
+        """Virtual ids controlled by a corrupt party set."""
+        out: set[int] = set()
+        for p in set(corrupt_parties):
+            out.update(self.virtual_ids(p))
+        return out
+
+    def corrupted_fraction(self, corrupt_parties: Iterable[int]) -> float:
+        """Fraction of virtual users the corrupt coalition controls."""
+        total = self.total_virtual
+        if total == 0:
+            return 0.0
+        return len(self.corrupted_virtual(corrupt_parties)) / total
+
+    def parties_with_tickets(self) -> list[int]:
+        """Parties controlling at least one virtual user."""
+        return [i for i, t in enumerate(self.tickets) if t > 0]

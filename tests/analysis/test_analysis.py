@@ -1,0 +1,159 @@
+"""Tests for the experiment harness: sweeps, tables, figures, plots."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.ascii_plot import heatmap, line_chart
+from repro.analysis.figures import build_figure, figure_csv, render_figure
+from repro.analysis.metrics import TicketMetrics
+from repro.analysis.sweep import TABLE2_WR_PAIRS, alpha_grid_sweep, nfrac_sweep
+from repro.analysis.table1 import build_table1, format_table1
+from repro.analysis.table2 import TABLE2_COLUMNS, build_table2, format_table2
+from repro.datasets.chains import ChainSnapshot
+from repro.datasets.synthetic import lognormal_weights
+
+
+def tiny_snapshot(n=40, total=10**6, seed=0):
+    return ChainSnapshot(
+        name="tiny",
+        weights=tuple(lognormal_weights(n, total, sigma=1.4, seed=seed)),
+        declared_n=n,
+        declared_total=total,
+    )
+
+
+class TestAlphaGridSweep:
+    def test_grid_covers_valid_cells(self):
+        points = alpha_grid_sweep(
+            tiny_snapshot().weights,
+            alpha_ns=[Fraction(1, 2)],
+            ratios=[Fraction(1, 2), Fraction(9, 10)],
+        )
+        assert len(points) == 2
+        for p in points:
+            assert p.alpha_w == p.ratio * p.alpha_n
+            assert p.metrics.total_tickets >= 1
+
+    def test_smaller_gap_means_more_tickets(self):
+        """Tickets grow as alpha_w approaches alpha_n (bound ~ 1/gap)."""
+        ws = tiny_snapshot().weights
+        wide = alpha_grid_sweep(ws, alpha_ns=[Fraction(1, 2)], ratios=[Fraction(3, 10)])
+        narrow = alpha_grid_sweep(ws, alpha_ns=[Fraction(1, 2)], ratios=[Fraction(9, 10)])
+        assert narrow[0].metrics.total_tickets >= wide[0].metrics.total_tickets
+
+
+class TestNfracSweep:
+    def test_series_shape(self):
+        points = nfrac_sweep(
+            tiny_snapshot().weights,
+            Fraction(1, 3),
+            Fraction(1, 2),
+            nfracs=(0.25, 1.0),
+            trials=3,
+            seed=1,
+        )
+        assert [p.nfrac for p in points] == [0.25, 1.0]
+        assert points[0].size == 10
+        assert all(p.total_tickets >= 1 for p in points)
+
+    def test_near_linear_scaling(self):
+        """Paper claim: total tickets grow close to linearly in n."""
+        points = nfrac_sweep(
+            tiny_snapshot(n=60).weights,
+            Fraction(1, 3),
+            Fraction(1, 2),
+            nfracs=(0.5, 1.0),
+            trials=5,
+            seed=2,
+        )
+        ratio = points[1].total_tickets / max(points[0].total_tickets, 1)
+        assert 1.0 <= ratio <= 4.0  # roughly doubling, generous bounds
+
+
+class TestTable1:
+    def test_rows_present(self):
+        rows = build_table1()
+        names = [r.protocol for r in rows]
+        assert any("RNG" in n for n in names)
+        assert any("Erasure" in n for n in names)
+        assert any("Error-Corrected" in n for n in names)
+        assert any("Black-Box" in n for n in names)
+
+    def test_headline_factors(self):
+        """The worked examples of Sections 4-5 come out exactly."""
+        rows = {r.protocol: r for r in build_table1()}
+        rng = rows["Distributed RNG / Common Coin"]
+        assert rng.comm_overhead == Fraction(4, 3)
+        storage = rows["Erasure-Coded Storage/Broadcast"]
+        assert storage.comp_overhead == Fraction(32, 9)  # ~3.56
+        ec = rows["Error-Corrected Broadcast"]
+        assert ec.comp_overhead == Fraction(64, 9)  # ~7.11
+        high = rows["High-Threshold Erasure Storage"]
+        assert high.comp_overhead == Fraction(16, 9)  # ~1.78
+
+    def test_formatting(self):
+        out = format_table1(build_table1())
+        assert "x1.33" in out and "x3.56" in out and "x7.11" in out
+
+
+class TestTable2:
+    def test_build_and_format(self):
+        rows = build_table2([tiny_snapshot()], columns=TABLE2_COLUMNS[:2])
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.system == "tiny"
+        assert len(row.cells) == 2
+        for cell in row.cells:
+            assert cell.linear_tickets >= cell.full_tickets
+        out = format_table2(rows)
+        assert "tiny" in out
+
+    def test_linear_surplus_rendering(self):
+        from repro.analysis.table2 import Table2Cell
+
+        assert Table2Cell("x", 10, 12).render() == "10 (+2)"
+        assert Table2Cell("x", 10, 10).render() == "10"
+
+
+class TestFigures:
+    def test_build_render_csv(self):
+        fig = build_figure(
+            tiny_snapshot(),
+            alpha_ns=[Fraction(1, 2)],
+            ratios=[Fraction(1, 2)],
+            pairs=[(Fraction(1, 3), Fraction(1, 2))],
+            nfracs=(0.5, 1.0),
+            trials=2,
+        )
+        text = render_figure(fig)
+        assert "Total tickets" in text and "# Holders" in text
+        grid_csv, scale_csv = figure_csv(fig)
+        assert grid_csv.splitlines()[0].startswith("alpha_n,")
+        assert len(scale_csv.splitlines()) == 3  # header + 2 points
+
+
+class TestAsciiPlot:
+    def test_heatmap_renders(self):
+        out = heatmap([[1.0, 2.0], [3.0, None]], title="t", row_labels=["a", "b"])
+        assert "t" in out and "scale:" in out
+
+    def test_heatmap_empty(self):
+        assert "(empty)" in heatmap([[None]])
+
+    def test_line_chart_renders(self):
+        out = line_chart({"s": [(0, 0), (1, 1)]}, title="chart")
+        assert "chart" in out and "legend" in out
+
+    def test_line_chart_empty(self):
+        assert "(empty)" in line_chart({})
+
+
+class TestReport:
+    def test_write_text_and_csv(self, tmp_path):
+        from repro.analysis.report import write_csv_rows, write_text
+
+        p = write_text("a.txt", "hello", base=tmp_path)
+        assert p.read_text() == "hello"
+        p = write_csv_rows("b.csv", ["x", "y"], [[1, 2], [3, 4]], base=tmp_path)
+        assert p.read_text() == "x,y\n1,2\n3,4\n"

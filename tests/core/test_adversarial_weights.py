@@ -1,0 +1,111 @@
+"""Adversarial weight distributions (paper: robustness claim + Section 9
+"Adversarial attacks" future work).
+
+Swiper's robustness property says the theorem bounds hold for *every*
+weight distribution, including maliciously crafted ones.  These tests
+stress that claim with the hybrid organic/adversarial distributions the
+paper's future-work section describes: honest weights stay organic while
+the adversary redistributes its own weight (e.g. splitting it across
+Sybil identities) to inflate its ticket share.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import WeightRestriction, brute_force_valid, solve
+from repro.datasets.synthetic import lognormal_weights
+from repro.sim.adversary import most_tickets_under
+
+PROBLEM = WeightRestriction("1/3", "1/2")
+
+
+def sybil_split(weights: list[int], party: int, parts: int) -> list[int]:
+    """Replace ``party`` with ``parts`` equal-weight Sybil identities."""
+    w = weights[party]
+    rest = [x for i, x in enumerate(weights) if i != party]
+    share, remainder = divmod(w, parts)
+    sybils = [share + (1 if i < remainder else 0) for i in range(parts)]
+    return rest + [s for s in sybils if s > 0]
+
+
+class TestAdversarialDistributions:
+    def test_bound_holds_on_dirac(self):
+        """One party holding everything except dust."""
+        weights = [10**18] + [1] * 49
+        result = solve(PROBLEM, weights)
+        assert result.total_tickets <= PROBLEM.ticket_bound(50)
+
+    def test_bound_holds_on_geometric(self):
+        """Geometric weights: every prefix outweighs the rest."""
+        weights = [2**i for i in range(40)]
+        result = solve(PROBLEM, weights)
+        assert result.total_tickets <= PROBLEM.ticket_bound(40)
+
+    def test_bound_holds_on_threshold_straddlers(self):
+        """Weights engineered to sit exactly at the alpha_w boundary."""
+        weights = [1, 1, 1] + [3] * 6  # many subsets hit exactly 1/3 W
+        result = solve(PROBLEM, weights)
+        assert brute_force_valid(PROBLEM, weights, result.assignment)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        scale=st.integers(min_value=1, max_value=10**12),
+        pattern=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=10),
+    )
+    def test_property_bound_universal(self, scale, pattern):
+        """Bounds are distribution-free: arbitrary magnitudes and shapes."""
+        weights = [p * scale + (1 if not any(pattern) else 0) for p in pattern]
+        if not any(weights):
+            weights[0] = scale
+        result = solve(PROBLEM, weights)
+        assert result.total_tickets <= PROBLEM.ticket_bound(len(weights))
+
+
+class TestSybilRedistribution:
+    def test_sybil_splitting_cannot_exceed_ticket_cap(self):
+        """However the adversary splits its weight, its ticket share stays
+        below alpha_n -- the WR constraint binds every subset, including
+        all-Sybil ones."""
+        honest = lognormal_weights(30, 10**7, sigma=1.4, seed=2)
+        adversary_weight = sum(honest) // 4  # under the 1/3 budget
+        for parts in (1, 2, 5, 20):
+            weights = honest + [
+                w
+                for w in [
+                    adversary_weight // parts + (1 if i < adversary_weight % parts else 0)
+                    for i in range(parts)
+                ]
+                if w > 0
+            ]
+            adversary_ids = set(range(len(honest), len(weights)))
+            result = solve(PROBLEM, weights)
+            tickets = result.assignment
+            adv_tickets = sum(tickets[i] for i in adversary_ids)
+            assert Fraction(adv_tickets) < Fraction(1, 2) * tickets.total
+
+    def test_splitting_changes_totals_within_bound(self):
+        """Sybil splitting may change T, but never past the (new) bound --
+        quantifying the Section 9 'adversarial attack' headroom."""
+        honest = lognormal_weights(30, 10**7, sigma=1.4, seed=3)
+        weights = honest + [sum(honest) // 4]
+        base = solve(PROBLEM, weights)
+        split = sybil_split(weights, len(weights) - 1, 10)
+        attacked = solve(PROBLEM, split)
+        assert base.total_tickets <= PROBLEM.ticket_bound(len(weights))
+        assert attacked.total_tickets <= PROBLEM.ticket_bound(len(split))
+
+    def test_greedy_adversary_never_breaks_validity(self):
+        """most_tickets_under is the strongest subset attack; the solved
+        assignment still denies it the threshold."""
+        rng = random.Random(5)
+        for seed in range(5):
+            weights = lognormal_weights(25, 10**6, sigma=1.8, seed=seed)
+            result = solve(PROBLEM, weights)
+            tickets = result.assignment.to_list()
+            corrupt = most_tickets_under(weights, tickets, "1/3")
+            adv = sum(tickets[i] for i in corrupt)
+            assert Fraction(adv) < Fraction(1, 2) * result.total_tickets

@@ -1,0 +1,130 @@
+"""Tests for the exact reference solvers (brute force, family scan, MILP)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    WeightQualification,
+    WeightRestriction,
+    WeightSeparation,
+    brute_force_valid,
+    solve,
+    solve_exact_milp,
+    solve_family_optimal,
+)
+from repro.core.exact import enumerate_feasible_subsets
+from repro.core.types import normalize_weights
+
+
+class TestBruteForce:
+    def test_limits_n(self):
+        with pytest.raises(ValueError):
+            brute_force_valid(WeightRestriction("1/3", "1/2"), [1] * 21, [0] * 21)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            brute_force_valid(WeightRestriction("1/3", "1/2"), [1, 2], [1])
+
+    def test_zero_total_never_viable(self):
+        for problem in (
+            WeightRestriction("1/3", "1/2"),
+            WeightQualification("2/3", "1/2"),
+            WeightSeparation("1/3", "1/2"),
+        ):
+            assert not brute_force_valid(problem, [1, 2, 3], [0, 0, 0])
+
+    def test_wq_definition_direct(self):
+        # Uniform: every 3-of-4 majority (>2/3 weight) needs >1/2 tickets.
+        problem = WeightQualification("2/3", "1/2")
+        assert brute_force_valid(problem, [1, 1, 1, 1], [1, 1, 1, 1])
+        # One party holding no tickets breaks it: {0,1,2} holds 3/4 > 2/3
+        # weight... it holds all 3 tickets, fine; but {1,2,3} holds 3/4 > 2/3
+        # weight and only 2 of 3 tickets > 1/2 -- still fine.  Concentrate
+        # tickets instead: {1,2,3} with 0 tickets out of 1 violates.
+        assert not brute_force_valid(problem, [1, 1, 1, 1], [1, 0, 0, 0])
+
+
+class TestFamilyOptimal:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        weights=st.lists(
+            st.integers(min_value=0, max_value=100), min_size=1, max_size=8
+        ).filter(any)
+    )
+    def test_is_valid_and_minimal_within_family(self, weights):
+        problem = WeightRestriction("1/3", "1/2")
+        optimal = solve_family_optimal(problem, weights)
+        assert brute_force_valid(problem, weights, optimal)
+        # No family member with fewer tickets is valid (checked by scan
+        # construction); re-verify the immediate predecessor.
+        from repro.core.prices import assignment_for_total
+
+        ws = normalize_weights(weights)
+        if optimal.total > 1:
+            prev = assignment_for_total(
+                ws, problem.rounding_constant, optimal.total - 1
+            )
+            assert not brute_force_valid(problem, ws, prev)
+
+
+class TestEnumerateFeasibleSubsets:
+    def test_maximal_filtering(self):
+        ws = normalize_weights([1, 1, 1, 1])
+        # capacity 2.5: feasible subsets have <= 2 elements; maximal ones
+        # are exactly the 2-element subsets.
+        from fractions import Fraction
+
+        subsets = enumerate_feasible_subsets(ws, Fraction(5, 2))
+        assert sorted(subsets) == sorted(
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        )
+
+    def test_all_subsets_mode(self):
+        from fractions import Fraction
+
+        ws = normalize_weights([1, 1])
+        subsets = enumerate_feasible_subsets(ws, Fraction(10), maximal_only=False)
+        assert len(subsets) == 4  # includes empty and full
+
+
+class TestMilp:
+    def test_limits_n(self):
+        with pytest.raises(ValueError):
+            solve_exact_milp(WeightRestriction("1/3", "1/2"), [1] * 17)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        weights=st.lists(
+            st.integers(min_value=0, max_value=60), min_size=1, max_size=7
+        ).filter(any)
+    )
+    def test_milp_is_valid_and_no_worse_than_swiper(self, weights):
+        problem = WeightRestriction("1/3", "1/2")
+        milp_result = solve_exact_milp(problem, weights)
+        assert brute_force_valid(problem, weights, milp_result)
+        swiper_result = solve(problem, weights)
+        assert milp_result.total <= swiper_result.total_tickets
+
+    def test_milp_wq_via_reduction(self):
+        problem = WeightQualification("2/3", "1/2")
+        result = solve_exact_milp(problem, [5, 3, 2, 1, 1])
+        assert brute_force_valid(problem, [5, 3, 2, 1, 1], result)
+
+    def test_milp_ws_small(self):
+        problem = WeightSeparation("1/3", "1/2")
+        weights = [4, 3, 2, 1]
+        result = solve_exact_milp(problem, weights)
+        assert brute_force_valid(problem, weights, result)
+        swiper_result = solve(problem, weights)
+        assert result.total <= swiper_result.total_tickets
+
+    def test_gap_example_uniform(self):
+        """On uniform weights Swiper's family is near-optimal."""
+        problem = WeightRestriction("1/3", "1/2")
+        weights = [1] * 9
+        milp_result = solve_exact_milp(problem, weights)
+        swiper_result = solve(problem, weights)
+        assert milp_result.total <= swiper_result.total_tickets <= problem.ticket_bound(9)

@@ -1,0 +1,220 @@
+"""Tests for the knapsack tiers: exact DP, numpy DP, greedy bounds."""
+
+from fractions import Fraction
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import knapsack
+from repro.core.types import normalize_weights
+
+
+def brute_min_weight(weights, profits, target):
+    """Reference: minimum weight of a subset with profit >= target."""
+    n = len(weights)
+    best = None
+    for r in range(n + 1):
+        for combo in combinations(range(n), r):
+            if sum(profits[i] for i in combo) >= target:
+                w = sum(weights[i] for i in combo)
+                if best is None or w < best:
+                    best = w
+    return best
+
+
+def brute_max_profit(weights, profits, cap):
+    """Reference: maximum profit of a subset with weight <= cap."""
+    n = len(weights)
+    best = 0
+    for r in range(n + 1):
+        for combo in combinations(range(n), r):
+            if sum(weights[i] for i in combo) <= cap:
+                best = max(best, sum(profits[i] for i in combo))
+    return best
+
+
+class TestStrictCapInt:
+    def test_fractional_capacity(self):
+        assert knapsack.strict_cap_int(Fraction(7, 2)) == 3
+
+    def test_integer_capacity_is_exclusive(self):
+        assert knapsack.strict_cap_int(Fraction(4)) == 3
+
+    def test_nonpositive(self):
+        assert knapsack.strict_cap_int(Fraction(0)) == -1
+        assert knapsack.strict_cap_int(Fraction(-3, 2)) == -1
+
+    def test_small_positive(self):
+        assert knapsack.strict_cap_int(Fraction(1, 3)) == 0
+
+
+class TestScaleWeightsExact:
+    def test_integer_weights_unchanged_denominator_one(self):
+        ints, denom = knapsack.scale_weights_exact(normalize_weights([3, 5]))
+        assert denom == 1
+        assert ints == [3, 5]
+
+    def test_rational_weights(self):
+        ints, denom = knapsack.scale_weights_exact(
+            normalize_weights([Fraction(1, 2), Fraction(1, 3)])
+        )
+        assert denom == 6
+        assert ints == [3, 2]
+
+    def test_exactness(self):
+        ws = normalize_weights([Fraction(7, 12), Fraction(5, 8), 2])
+        ints, denom = knapsack.scale_weights_exact(ws)
+        for i, w in enumerate(ws):
+            assert Fraction(ints[i], denom) == w
+
+
+class TestScaleWeightsRounded:
+    def test_round_down_never_overstates(self):
+        ws = normalize_weights([Fraction(1, 3), Fraction(2, 3), 1])
+        total = sum(ws)
+        down = knapsack.scale_weights_rounded(ws, total, round_up=False)
+        scale = Fraction(1 << knapsack.SCALE_BITS) / total
+        for i, w in enumerate(ws):
+            assert down[i] <= w * scale
+
+    def test_round_up_never_understates(self):
+        ws = normalize_weights([Fraction(1, 3), Fraction(2, 3), 1])
+        total = sum(ws)
+        up = knapsack.scale_weights_rounded(ws, total, round_up=True)
+        scale = Fraction(1 << knapsack.SCALE_BITS) / total
+        for i, w in enumerate(ws):
+            assert up[i] >= w * scale
+
+    def test_exact_weights_identical_both_ways(self):
+        ws = normalize_weights([1, 2, 1])
+        total = sum(ws)
+        down = knapsack.scale_weights_rounded(ws, total, round_up=False)
+        up = knapsack.scale_weights_rounded(ws, total, round_up=True)
+        assert (down == up).all()
+
+
+class TestExactDP:
+    def test_min_weight_simple(self):
+        assert knapsack.min_weight_for_profit([3, 2, 5], [1, 1, 2], 2) == 5
+        # profit 2 via items {0,1} weight 5 or item {2} weight 5.
+
+    def test_min_weight_unreachable(self):
+        assert knapsack.min_weight_for_profit([1, 1], [1, 1], 5) is None
+
+    def test_min_weight_zero_target(self):
+        assert knapsack.min_weight_for_profit([1], [1], 0) == 0
+
+    def test_max_profit_simple(self):
+        assert knapsack.max_profit_under([3, 2, 5], [1, 1, 2], 5) == 2
+
+    def test_max_profit_negative_cap(self):
+        assert knapsack.max_profit_under([1], [1], -1) == 0
+
+    def test_zero_profit_items_ignored(self):
+        assert knapsack.max_profit_under([1, 1], [0, 3], 1) == 3
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        items=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=0, max_value=6),
+            ),
+            min_size=0,
+            max_size=8,
+        ),
+        target=st.integers(min_value=0, max_value=20),
+        cap=st.integers(min_value=-1, max_value=60),
+    )
+    def test_property_against_brute_force(self, items, target, cap):
+        weights = [w for w, _ in items]
+        profits = [p for _, p in items]
+        assert knapsack.min_weight_for_profit(weights, profits, target) == (
+            brute_min_weight(weights, profits, target)
+        )
+        assert knapsack.max_profit_under(weights, profits, cap) == brute_max_profit(
+            weights, profits, cap
+        )
+
+
+class TestNumpyDP:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        items=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=0, max_value=6),
+            ),
+            min_size=0,
+            max_size=8,
+        ),
+        target=st.integers(min_value=0, max_value=20),
+        cap=st.integers(min_value=-1, max_value=3000),
+    )
+    def test_agrees_with_exact_on_integer_weights(self, items, target, cap):
+        weights = np.array([w for w, _ in items], dtype=np.int64)
+        profits = [p for _, p in items]
+        got = knapsack.min_weight_for_profit_numpy(weights, profits, target)
+        want = knapsack.min_weight_for_profit(weights.tolist(), profits, target)
+        assert got == want
+        got_mp = knapsack.max_profit_under_numpy(weights, profits, cap)
+        want_mp = knapsack.max_profit_under(weights.tolist(), profits, cap)
+        assert got_mp == want_mp
+
+    def test_single_item_reaching_target(self):
+        weights = np.array([7, 3], dtype=np.int64)
+        assert knapsack.min_weight_for_profit_numpy(weights, [5, 1], 4) == 7
+
+    def test_unreachable_returns_none(self):
+        weights = np.array([7], dtype=np.int64)
+        assert knapsack.min_weight_for_profit_numpy(weights, [1], 3) is None
+
+
+class TestGreedyBounds:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        items=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=6),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        cap_num=st.integers(min_value=0, max_value=80),
+    )
+    def test_bounds_bracket_true_optimum(self, items, cap_num):
+        weights = normalize_weights([w for w, _ in items]) if any(
+            w for w, _ in items
+        ) else None
+        if weights is None:
+            return
+        profits = [p for _, p in items]
+        capacity = Fraction(cap_num, 2)
+        # True strict-capacity optimum by brute force.
+        n = len(weights)
+        best = 0
+        for r in range(n + 1):
+            for combo in combinations(range(n), r):
+                if sum((weights[i] for i in combo), Fraction(0)) < capacity:
+                    best = max(best, sum(profits[i] for i in combo))
+        ub = knapsack.fractional_upper_bound(weights, profits, capacity)
+        lb = knapsack.greedy_lower_bound(weights, profits, capacity)
+        assert lb <= best <= ub
+
+    def test_zero_capacity(self):
+        ws = normalize_weights([1, 2])
+        assert knapsack.fractional_upper_bound(ws, [1, 1], Fraction(0)) == 0
+        assert knapsack.greedy_lower_bound(ws, [1, 1], Fraction(0)) == 0
+
+    def test_lower_bound_catches_big_single_item(self):
+        # Greedy packing by density may skip the single most profitable
+        # item; the best-single fallback must catch it.
+        ws = normalize_weights([1, 1, 1, 10])
+        profits = [2, 2, 2, 9]
+        capacity = Fraction(11)
+        lb = knapsack.greedy_lower_bound(ws, profits, capacity)
+        assert lb >= 9

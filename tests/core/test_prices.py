@@ -1,0 +1,155 @@
+"""Tests for the totally-ordered ticket-assignment family."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prices import (
+    assignment_for_total,
+    scale_for_total,
+    ticket_price,
+    total_at_scale,
+)
+from repro.core.types import normalize_weights
+
+WEIGHTS = normalize_weights([5, 3, 2, 1])
+C = Fraction(1, 3)
+
+
+class TestTicketPrice:
+    def test_formula(self):
+        assert ticket_price(Fraction(2), Fraction(1, 3), 1) == Fraction(1, 3)
+        assert ticket_price(Fraction(2), Fraction(1, 3), 2) == Fraction(5, 6)
+
+    def test_monotone_in_m(self):
+        prices = [ticket_price(Fraction(3), C, m) for m in range(1, 10)]
+        assert prices == sorted(prices)
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ticket_price(Fraction(0), C, 1)
+
+    def test_bad_m_rejected(self):
+        with pytest.raises(ValueError):
+            ticket_price(Fraction(1), C, 0)
+
+
+class TestAssignmentForTotal:
+    def test_zero_total(self):
+        assert assignment_for_total(WEIGHTS, C, 0) == [0, 0, 0, 0]
+
+    def test_exact_total(self):
+        for total in range(0, 30):
+            t = assignment_for_total(WEIGHTS, C, total)
+            assert sum(t) == total
+
+    def test_monotone_family(self):
+        # Each family member dominates the previous one pointwise,
+        # gaining exactly one ticket (total order, Section 3.1).
+        prev = assignment_for_total(WEIGHTS, C, 0)
+        for total in range(1, 25):
+            cur = assignment_for_total(WEIGHTS, C, total)
+            diffs = [c - p for c, p in zip(cur, prev)]
+            assert all(d >= 0 for d in diffs)
+            assert sum(diffs) == 1
+            prev = cur
+
+    def test_heavier_party_never_behind(self):
+        # With equal c, a strictly heavier party holds at least as many
+        # tickets (its prices are pointwise cheaper).
+        for total in range(1, 25):
+            t = assignment_for_total(WEIGHTS, C, total)
+            assert t[0] >= t[1] >= t[2] >= t[3]
+
+    def test_zero_weight_party_gets_nothing(self):
+        ws = normalize_weights([2, 0, 1])
+        for total in range(10):
+            t = assignment_for_total(ws, C, total)
+            assert t[1] == 0
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            assignment_for_total(WEIGHTS, C, -1)
+
+    def test_deterministic_tie_break(self):
+        # Equal weights tie at every price; lower index wins first.
+        ws = normalize_weights([1, 1, 1])
+        assert assignment_for_total(ws, C, 1) == [1, 0, 0]
+        assert assignment_for_total(ws, C, 2) == [1, 1, 0]
+        assert assignment_for_total(ws, C, 4) == [2, 1, 1]
+
+    def test_matches_floor_formula_at_scale(self):
+        # At the price of the T-th ticket, the selection equals the full
+        # floor assignment floor(s * w_i + c) (ties consumed in order).
+        total = 17
+        s = scale_for_total(WEIGHTS, C, total)
+        full = [int(s * w + C) if w > 0 else 0 for w in WEIGHTS]
+        # full floor: floor(s*w + c)
+        full = []
+        for w in WEIGHTS:
+            v = s * w + C
+            full.append(v.numerator // v.denominator)
+        assert sum(full) >= total
+        t = assignment_for_total(WEIGHTS, C, total)
+        # Selection only differs from the floor assignment on the border.
+        for ti, fi, w in zip(t, full, WEIGHTS):
+            assert fi - 1 <= ti <= fi
+            if ti == fi - 1:
+                # This party is on the border: s*w + c is an integer.
+                v = s * w + C
+                assert v.denominator == 1
+
+
+class TestTotalAtScale:
+    def test_matches_floor_sum(self):
+        s = Fraction(7, 5)
+        expected = 0
+        for w in WEIGHTS:
+            v = s * w + C
+            expected += v.numerator // v.denominator
+        assert total_at_scale(WEIGHTS, C, s) == expected
+
+    def test_zero_scale(self):
+        # floor(c) = 0 for c < 1.
+        assert total_at_scale(WEIGHTS, C, Fraction(0)) == 0
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            total_at_scale(WEIGHTS, C, Fraction(-1))
+
+
+class TestScaleForTotal:
+    def test_round_trip(self):
+        for total in range(1, 20):
+            s = scale_for_total(WEIGHTS, C, total)
+            assert total_at_scale(WEIGHTS, C, s) >= total
+            # Any scale strictly below s yields fewer than `total` tickets;
+            # probing just below the jump point suffices.
+            eps = Fraction(1, 10**9)
+            assert total_at_scale(WEIGHTS, C, max(s - eps, Fraction(0))) < total
+
+    def test_total_must_be_positive(self):
+        with pytest.raises(ValueError):
+            scale_for_total(WEIGHTS, C, 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    weights=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=12).filter(
+        lambda ws: any(ws)
+    ),
+    c_num=st.integers(min_value=0, max_value=9),
+    total=st.integers(min_value=0, max_value=60),
+)
+def test_property_total_and_order(weights, c_num, total):
+    """Family invariants hold for arbitrary weights and constants."""
+    ws = normalize_weights(weights)
+    c = Fraction(c_num, 10)
+    t = assignment_for_total(ws, c, total)
+    assert sum(t) == total
+    assert all(x >= 0 for x in t)
+    nxt = assignment_for_total(ws, c, total + 1)
+    diffs = [b - a for a, b in zip(t, nxt)]
+    assert sum(diffs) == 1 and all(d >= 0 for d in diffs)

@@ -1,0 +1,126 @@
+"""Unit tests for the problem definitions and theorem bounds."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    WeightQualification,
+    WeightRestriction,
+    WeightSeparation,
+    wq_bound_value,
+    wr_bound_value,
+    ws_bound_value,
+)
+
+
+class TestWeightRestriction:
+    def test_accepts_strings_and_fractions(self):
+        p = WeightRestriction("1/3", Fraction(1, 2))
+        assert p.alpha_w == Fraction(1, 3)
+        assert p.alpha_n == Fraction(1, 2)
+
+    def test_requires_gap(self):
+        with pytest.raises(ValueError, match="alpha_w < alpha_n"):
+            WeightRestriction("1/2", "1/3")
+        with pytest.raises(ValueError, match="alpha_w < alpha_n"):
+            WeightRestriction("1/3", "1/3")
+
+    @pytest.mark.parametrize("bad", ["0", "1", "-1/2", "3/2"])
+    def test_requires_open_unit_interval(self, bad):
+        with pytest.raises(ValueError):
+            WeightRestriction(bad, "1/2")
+
+    def test_rounding_constant_is_alpha_w(self):
+        assert WeightRestriction("1/4", "1/3").rounding_constant == Fraction(1, 4)
+
+    def test_ticket_bound_matches_theorem(self):
+        # alpha_w=1/3, alpha_n=1/2: (1/3)(2/3)/(1/6) n = 4/3 n.
+        p = WeightRestriction("1/3", "1/2")
+        assert p.ticket_bound(3) == 4
+        assert p.ticket_bound(100) == math.ceil(Fraction(4, 3) * 100)
+
+    def test_ticket_bound_positive_n_required(self):
+        with pytest.raises(ValueError):
+            WeightRestriction("1/3", "1/2").ticket_bound(0)
+
+    def test_frozen(self):
+        p = WeightRestriction("1/3", "1/2")
+        with pytest.raises(AttributeError):
+            p.alpha_w = Fraction(1, 4)  # type: ignore[misc]
+
+
+class TestWeightQualification:
+    def test_requires_gap(self):
+        with pytest.raises(ValueError, match="beta_n < beta_w"):
+            WeightQualification("1/3", "1/2")
+
+    def test_reduction_parameters(self):
+        q = WeightQualification("2/3", "1/2")
+        r = q.to_restriction()
+        assert r.alpha_w == Fraction(1, 3)
+        assert r.alpha_n == Fraction(1, 2)
+
+    def test_rounding_constant_matches_reduction(self):
+        q = WeightQualification("3/4", "2/3")
+        assert q.rounding_constant == q.to_restriction().rounding_constant
+
+    def test_bound_equals_reduced_bound(self):
+        # The algebraic identity beta_w(1-beta_w)/(beta_w-beta_n) ==
+        # alpha_w'(1-alpha_w')/(alpha_n'-alpha_w') under the reduction.
+        for bw, bn in [("2/3", "1/2"), ("3/4", "2/3"), ("1/3", "1/4")]:
+            q = WeightQualification(bw, bn)
+            for n in (1, 10, 1000):
+                assert q.ticket_bound(n) == q.to_restriction().ticket_bound(n)
+
+
+class TestWeightSeparation:
+    def test_requires_gap(self):
+        with pytest.raises(ValueError, match="alpha < beta"):
+            WeightSeparation("1/2", "1/3")
+
+    def test_rounding_constant_is_midpoint(self):
+        s = WeightSeparation("1/4", "1/3")
+        assert s.rounding_constant == Fraction(7, 24)
+
+    def test_ticket_bound(self):
+        # (alpha+beta)(1-alpha)/(beta-alpha) n for alpha=1/4, beta=1/3:
+        # (7/12)(3/4)/(1/12) n = 21/4 n.
+        s = WeightSeparation("1/4", "1/3")
+        assert s.ticket_bound(4) == 21
+
+    def test_numerator_below_one(self):
+        # Paper: (alpha+beta)(1-alpha) < 1 for all 0 < alpha < beta < 1.
+        import random
+
+        rng = random.Random(7)
+        for _ in range(200):
+            a = Fraction(rng.randint(1, 98), 100)
+            b = Fraction(rng.randint(int(a * 100) + 1, 99), 100)
+            assert (a + b) * (1 - a) < 1
+
+
+class TestBoundValues:
+    def test_wr_bound_value(self):
+        assert wr_bound_value("1/3", "1/2", 3) == 4
+
+    def test_wr_bound_numerator_never_exceeds_quarter(self):
+        # alpha_w (1 - alpha_w) <= 1/4 (paper, Section 2.1 discussion).
+        for num in range(1, 100):
+            aw = Fraction(num, 100)
+            assert aw * (1 - aw) <= Fraction(1, 4)
+
+    def test_wq_equals_wr_after_reduction(self):
+        assert wq_bound_value("2/3", "1/2", 7) == wr_bound_value("1/3", "1/2", 7)
+
+    def test_ws_bound_value(self):
+        assert ws_bound_value("1/4", "1/3", 12) == Fraction(21, 4) * 12
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            wr_bound_value("1/2", "1/3", 5)
+        with pytest.raises(ValueError):
+            wq_bound_value("1/3", "1/2", 5)
+        with pytest.raises(ValueError):
+            ws_bound_value("1/2", "1/3", 5)

@@ -1,0 +1,66 @@
+"""Tests for the rounding-constant ablation entry point."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    WeightQualification,
+    WeightRestriction,
+    WeightSeparation,
+    brute_force_valid,
+    solve,
+    solve_with_constant,
+)
+
+
+class TestSolveWithConstant:
+    def test_optimal_constant_matches_solver(self):
+        """With c = rounding_constant the result equals Swiper's."""
+        weights = [40, 25, 15, 10, 5, 3, 1, 1]
+        problem = WeightRestriction("1/3", "1/2")
+        via_constant = solve_with_constant(problem, weights, problem.rounding_constant)
+        via_solver = solve(problem, weights)
+        assert via_constant.assignment == via_solver.assignment
+
+    def test_constant_validation(self):
+        with pytest.raises(ValueError):
+            solve_with_constant(WeightRestriction("1/3", "1/2"), [1, 2], "3/2")
+        with pytest.raises(ValueError):
+            solve_with_constant(WeightRestriction("1/3", "1/2"), [1, 2], -0.1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        weights=st.lists(
+            st.integers(min_value=0, max_value=1000), min_size=1, max_size=8
+        ).filter(any),
+        c_tenths=st.integers(min_value=0, max_value=9),
+    )
+    def test_property_any_constant_yields_valid(self, weights, c_tenths):
+        """Every constant produces a *valid* assignment (the constant only
+        affects how many tickets that takes)."""
+        from fractions import Fraction
+
+        problem = WeightRestriction("1/3", "1/2")
+        result = solve_with_constant(problem, weights, Fraction(c_tenths, 10))
+        assert brute_force_valid(problem, weights, result.assignment)
+
+    def test_wq_and_ws_supported(self):
+        weights = [30, 20, 10, 5, 1]
+        for problem in (
+            WeightQualification("2/3", "1/2"),
+            WeightSeparation("1/3", "1/2"),
+        ):
+            result = solve_with_constant(problem, weights, "1/5")
+            assert brute_force_valid(problem, weights, result.assignment)
+
+    def test_zero_constant_never_fewer_tickets_on_chains(self):
+        """The Pinkas constant never hurts: c = optimal <= c = 0 ticket
+        counts on a skewed instance (paper acknowledgments)."""
+        from repro.datasets.synthetic import lognormal_weights
+
+        weights = lognormal_weights(60, 10**8, sigma=1.6, seed=4)
+        problem = WeightRestriction("1/3", "1/2")
+        paper = solve_with_constant(problem, weights, problem.rounding_constant)
+        naive = solve_with_constant(problem, weights, 0)
+        assert paper.total_tickets <= naive.total_tickets

@@ -1,0 +1,181 @@
+"""End-to-end tests of the Swiper solver: validity, bounds, determinism."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Swiper,
+    WeightQualification,
+    WeightRestriction,
+    WeightSeparation,
+    brute_force_valid,
+    is_valid_assignment,
+    solve,
+    solve_family_optimal,
+)
+from repro.core.prices import assignment_for_total
+from repro.core.types import normalize_weights
+
+PROBLEMS = [
+    WeightRestriction("1/4", "1/3"),
+    WeightRestriction("1/3", "3/8"),
+    WeightRestriction("1/3", "1/2"),
+    WeightRestriction("2/3", "3/4"),
+    WeightQualification("3/4", "2/3"),
+    WeightQualification("2/3", "1/2"),
+    WeightSeparation("1/4", "1/3"),
+    WeightSeparation("1/3", "1/2"),
+    WeightSeparation("2/3", "3/4"),
+]
+
+weights_strategy = st.lists(
+    st.integers(min_value=0, max_value=10**6), min_size=1, max_size=10
+).filter(any)
+
+
+class TestSolveBasics:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            Swiper(mode="turbo")
+
+    def test_result_fields(self):
+        result = solve(WeightRestriction("1/3", "1/2"), [5, 3, 2])
+        assert result.mode == "full"
+        assert result.total_tickets == result.assignment.total
+        assert result.ticket_bound == 4
+        assert result.probes >= 1
+        assert result.elapsed_seconds >= 0
+
+    def test_single_party(self):
+        result = solve(WeightRestriction("1/3", "1/2"), [42])
+        assert result.total_tickets >= 1
+        assert brute_force_valid(result.problem, [42], result.assignment)
+
+    def test_equal_weights_spread_tickets(self):
+        result = solve(WeightRestriction("1/3", "1/2"), [1] * 9)
+        # Uniform weights need a roughly uniform assignment to be valid.
+        assert result.assignment.max_tickets <= 2
+
+    def test_determinism(self):
+        ws = [random.Random(1).randint(1, 1000) for _ in range(20)]
+        a = solve(WeightRestriction("1/3", "1/2"), ws)
+        b = solve(WeightRestriction("1/3", "1/2"), ws)
+        assert a.assignment == b.assignment
+
+
+class TestSolverValidityProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(weights=weights_strategy, idx=st.integers(min_value=0, max_value=8))
+    def test_full_mode_output_is_valid_and_bounded(self, weights, idx):
+        problem = PROBLEMS[idx]
+        result = solve(problem, weights)
+        assert brute_force_valid(problem, weights, result.assignment)
+        assert result.total_tickets <= problem.ticket_bound(len(weights))
+
+    @settings(max_examples=40, deadline=None)
+    @given(weights=weights_strategy, idx=st.integers(min_value=0, max_value=8))
+    def test_linear_mode_output_is_valid_and_bounded(self, weights, idx):
+        problem = PROBLEMS[idx]
+        result = solve(problem, weights, mode="linear")
+        assert brute_force_valid(problem, weights, result.assignment)
+        assert result.total_tickets <= problem.ticket_bound(len(weights))
+
+    @settings(max_examples=30, deadline=None)
+    @given(weights=weights_strategy, idx=st.integers(min_value=0, max_value=8))
+    def test_linear_never_below_full(self, weights, idx):
+        """Linear mode may stop early but never yields fewer tickets."""
+        problem = PROBLEMS[idx]
+        full = solve(problem, weights)
+        linear = solve(problem, weights, mode="linear")
+        assert linear.total_tickets >= full.total_tickets
+
+    @settings(max_examples=25, deadline=None)
+    @given(weights=weights_strategy, idx=st.integers(min_value=0, max_value=8))
+    def test_local_minimality(self, weights, idx):
+        """Full mode returns a local minimum: the previous family member
+        (one fewer ticket) is invalid."""
+        problem = PROBLEMS[idx]
+        result = solve(problem, weights)
+        total = result.total_tickets
+        ws = normalize_weights(weights)
+        effective = (
+            problem.to_restriction()
+            if isinstance(problem, WeightQualification)
+            else problem
+        )
+        prev = assignment_for_total(ws, effective.rounding_constant, total - 1)
+        assert not brute_force_valid(problem, ws, prev)
+
+    @settings(max_examples=25, deadline=None)
+    @given(weights=weights_strategy, idx=st.integers(min_value=0, max_value=8))
+    def test_not_below_family_optimum(self, weights, idx):
+        problem = PROBLEMS[idx]
+        result = solve(problem, weights)
+        optimal = solve_family_optimal(problem, weights)
+        assert result.total_tickets >= optimal.total
+
+
+class TestQuickTestAblation:
+    @settings(max_examples=25, deadline=None)
+    @given(weights=weights_strategy, idx=st.integers(min_value=0, max_value=8))
+    def test_disabling_quick_test_gives_identical_assignment(self, weights, idx):
+        problem = PROBLEMS[idx]
+        with_quick = Swiper(mode="full", use_quick_test=True).solve(problem, weights)
+        without = Swiper(mode="full", use_quick_test=False).solve(problem, weights)
+        assert with_quick.assignment == without.assignment
+        assert without.stats.dp_calls >= with_quick.stats.dp_calls
+
+
+class TestWeightedScenarios:
+    def test_giant_whale_tiny_tail(self):
+        """Heavily skewed weights: tickets stay far below n (Section 7)."""
+        weights = [10**9] + [1] * 99
+        result = solve(WeightRestriction("1/3", "1/2"), weights)
+        assert result.total_tickets < 100
+
+    def test_paper_example_thresholds(self):
+        """All four Table 2 WR/WQ parameter pairs solve a skewed instance."""
+        rng = random.Random(42)
+        weights = [int(1000 * (1.5 ** rng.uniform(0, 20))) for _ in range(50)]
+        for problem in (
+            WeightRestriction("1/4", "1/3"),
+            WeightRestriction("1/3", "3/8"),
+            WeightRestriction("1/3", "1/2"),
+            WeightRestriction("2/3", "3/4"),
+        ):
+            result = solve(problem, weights)
+            assert result.total_tickets <= problem.ticket_bound(50)
+            assert is_valid_assignment(problem, weights, result.assignment)
+
+    def test_float_weights(self):
+        weights = [0.1, 0.2, 0.30001, 12.5, 7e-3]
+        result = solve(WeightRestriction("1/3", "1/2"), weights)
+        assert brute_force_valid(result.problem, weights, result.assignment)
+
+    def test_huge_weights_filecoin_scale(self):
+        """Weights on the order of 2.5e19 (Filecoin) stay exact."""
+        rng = random.Random(9)
+        weights = [rng.randint(10**15, 10**19) for _ in range(40)]
+        result = solve(WeightRestriction("1/3", "1/2"), weights)
+        assert is_valid_assignment(result.problem, weights, result.assignment)
+
+
+class TestIsValidAssignment:
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            is_valid_assignment(WeightRestriction("1/3", "1/2"), [1, 2], [1])
+
+    def test_accepts_arbitrary_valid_assignment(self):
+        # Uniform assignment over uniform weights.
+        assert is_valid_assignment(
+            WeightRestriction("1/3", "1/2"), [1] * 9, [1] * 9
+        )
+
+    def test_rejects_concentrated_assignment(self):
+        assert not is_valid_assignment(
+            WeightRestriction("1/3", "1/2"), [1] * 4, [1, 0, 0, 0]
+        )

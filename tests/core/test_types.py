@@ -1,0 +1,116 @@
+"""Unit tests for :mod:`repro.core.types`."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.types import (
+    TicketAssignment,
+    as_fraction,
+    normalize_weights,
+    weight_of,
+)
+
+
+class TestAsFraction:
+    def test_int(self):
+        assert as_fraction(7) == Fraction(7)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(2, 3)
+        assert as_fraction(f) is f
+
+    def test_string_ratio(self):
+        assert as_fraction("1/3") == Fraction(1, 3)
+
+    def test_string_decimal(self):
+        assert as_fraction("0.25") == Fraction(1, 4)
+
+    def test_float_exact(self):
+        assert as_fraction(0.5) == Fraction(1, 2)
+
+    def test_float_binary_expansion_is_exact(self):
+        # 0.1 is not representable; conversion must be the exact binary value.
+        assert as_fraction(0.1) == Fraction(0.1)
+        assert as_fraction(0.1) != Fraction(1, 10)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(True)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            as_fraction(float("nan"))
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            as_fraction(float("inf"))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(object())
+
+
+class TestNormalizeWeights:
+    def test_mixed_types(self):
+        ws = normalize_weights([1, "1/2", 0.25, Fraction(3)])
+        assert ws == (Fraction(1), Fraction(1, 2), Fraction(1, 4), Fraction(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_weights([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_weights([1, -1])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError, match="non-zero"):
+            normalize_weights([0, 0, 0])
+
+    def test_some_zeros_allowed(self):
+        ws = normalize_weights([0, 1, 0])
+        assert sum(ws) == 1
+
+
+class TestTicketAssignment:
+    def test_basic_metrics(self):
+        t = TicketAssignment((3, 0, 1, 0, 2))
+        assert t.total == 6
+        assert t.max_tickets == 3
+        assert t.holders == 3
+        assert t.support == (0, 2, 4)
+        assert len(t) == 5
+        assert list(t) == [3, 0, 1, 0, 2]
+        assert t[0] == 3
+
+    def test_subset_total(self):
+        t = TicketAssignment((3, 0, 1, 0, 2))
+        assert t.subset_total([0, 4]) == 5
+        assert t.subset_total([]) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TicketAssignment((1, -1))
+
+    def test_zeros_constructor(self):
+        t = TicketAssignment.zeros(4)
+        assert t.total == 0
+        assert t.holders == 0
+        assert len(t) == 4
+
+    def test_to_list_is_copy(self):
+        t = TicketAssignment((1, 2))
+        lst = t.to_list()
+        lst[0] = 99
+        assert t[0] == 1
+
+    def test_value_equality(self):
+        assert TicketAssignment((1, 2)) == TicketAssignment((1, 2))
+        assert TicketAssignment((1, 2)) != TicketAssignment((2, 1))
+
+
+def test_weight_of():
+    ws = normalize_weights([1, 2, 3])
+    assert weight_of(ws, [0, 2]) == 4
+    assert weight_of(ws, []) == 0

@@ -1,0 +1,211 @@
+"""Tests for the validity checkers against the brute-force oracle."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    WeightQualification,
+    WeightRestriction,
+    WeightSeparation,
+    brute_force_valid,
+    make_checker,
+)
+from repro.core.types import normalize_weights
+from repro.core.verify import Verdict
+
+
+def wr_problems():
+    return [
+        WeightRestriction("1/4", "1/3"),
+        WeightRestriction("1/3", "3/8"),
+        WeightRestriction("1/3", "1/2"),
+        WeightRestriction("2/3", "3/4"),
+    ]
+
+
+class TestRestrictionChecker:
+    def test_zero_total_invalid(self):
+        ws = normalize_weights([1, 1, 1])
+        checker = make_checker(WeightRestriction("1/3", "1/2"), ws)
+        assert checker.check([0, 0, 0]) is False
+
+    def test_violation_target(self):
+        ws = normalize_weights([1, 1, 1])
+        checker = make_checker(WeightRestriction("1/3", "1/2"), ws)
+        # alpha_n * T = 1.5 -> violating from 2 tickets up.
+        assert checker.violation_target(3) == 2
+        # alpha_n * T = 2 -> violating from 2 (strict inequality).
+        assert checker.violation_target(4) == 2
+
+    def test_known_valid(self):
+        # Single giant party with > 2/3 of the weight: one ticket suffices.
+        ws = normalize_weights([100, 1, 1])
+        checker = make_checker(WeightRestriction("1/3", "1/2"), ws)
+        assert checker.check([1, 0, 0]) is True
+
+    def test_known_invalid(self):
+        # Uniform weights, one party with all tickets: the singleton subset
+        # holds 1/4 < 1/3 of weight but 100% of tickets.
+        ws = normalize_weights([1, 1, 1, 1])
+        checker = make_checker(WeightRestriction("1/3", "1/2"), ws)
+        assert checker.check([1, 0, 0, 0]) is False
+
+    def test_uniform_equal_tickets_valid(self):
+        ws = normalize_weights([1] * 9)
+        checker = make_checker(WeightRestriction("1/3", "1/2"), ws)
+        assert checker.check([1] * 9) is True
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        weights=st.lists(
+            st.integers(min_value=0, max_value=50), min_size=1, max_size=9
+        ).filter(any),
+        tickets=st.data(),
+        problem_idx=st.integers(min_value=0, max_value=3),
+    )
+    def test_property_matches_oracle(self, weights, tickets, problem_idx):
+        problem = wr_problems()[problem_idx]
+        ws = normalize_weights(weights)
+        ts = tickets.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=4),
+                min_size=len(ws),
+                max_size=len(ws),
+            )
+        )
+        checker = make_checker(problem, ws)
+        assert checker.check(ts) == brute_force_valid(problem, ws, ts)
+
+    def test_quick_test_verdicts_are_sound(self):
+        # Whenever quick() is decisive it must agree with the oracle.
+        import random
+
+        rng = random.Random(3)
+        problem = WeightRestriction("1/3", "1/2")
+        for _ in range(100):
+            n = rng.randint(1, 8)
+            weights = [rng.randint(0, 30) for _ in range(n)]
+            if not any(weights):
+                continue
+            ws = normalize_weights(weights)
+            ts = [rng.randint(0, 3) for _ in range(n)]
+            if sum(ts) == 0:
+                continue
+            checker = make_checker(problem, ws)
+            verdict = checker.quick(ts, sum(ts))
+            truth = brute_force_valid(problem, ws, ts)
+            if verdict is Verdict.VALID:
+                assert truth is True
+            elif verdict is Verdict.INVALID:
+                assert truth is False
+
+    def test_linear_mode_never_accepts_invalid(self):
+        import random
+
+        rng = random.Random(5)
+        problem = WeightRestriction("1/3", "1/2")
+        for _ in range(100):
+            n = rng.randint(1, 8)
+            weights = [rng.randint(0, 30) for _ in range(n)]
+            if not any(weights):
+                continue
+            ws = normalize_weights(weights)
+            ts = [rng.randint(0, 3) for _ in range(n)]
+            checker = make_checker(problem, ws, linear_mode=True)
+            if checker.check(ts):
+                assert brute_force_valid(problem, ws, ts) is True
+
+
+class TestQualificationViaReduction:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        weights=st.lists(
+            st.integers(min_value=0, max_value=50), min_size=1, max_size=9
+        ).filter(any),
+        data=st.data(),
+    )
+    def test_reduction_equals_direct_definition(self, weights, data):
+        """Theorem 2.2: checking WQ via WR(1-bw, 1-bn) matches Problem 2."""
+        problem = WeightQualification("2/3", "1/2")
+        ws = normalize_weights(weights)
+        ts = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=4),
+                min_size=len(ws),
+                max_size=len(ws),
+            )
+        )
+        checker = make_checker(problem, ws)
+        assert checker.check(ts) == brute_force_valid(problem, ws, ts)
+
+
+class TestSeparationChecker:
+    def test_zero_total_invalid(self):
+        ws = normalize_weights([1, 1])
+        checker = make_checker(WeightSeparation("1/4", "1/3"), ws)
+        assert checker.check([0, 0]) is False
+
+    def test_uniform_equal_tickets(self):
+        ws = normalize_weights([1] * 12)
+        checker = make_checker(WeightSeparation("1/4", "1/3"), ws)
+        # With equal tickets, sets below 3 units must out-ticket... low sets
+        # have < 3 tickets, high sets have > 4: separated.
+        assert checker.check([1] * 12) is True
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        weights=st.lists(
+            st.integers(min_value=0, max_value=50), min_size=1, max_size=8
+        ).filter(any),
+        data=st.data(),
+    )
+    def test_property_matches_oracle(self, weights, data):
+        problem = WeightSeparation("1/3", "1/2")
+        ws = normalize_weights(weights)
+        ts = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=4),
+                min_size=len(ws),
+                max_size=len(ws),
+            )
+        )
+        checker = make_checker(problem, ws)
+        assert checker.check(ts) == brute_force_valid(problem, ws, ts)
+
+
+class TestCheckStats:
+    def test_stats_accumulate(self):
+        ws = normalize_weights([3, 2, 1, 1])
+        checker = make_checker(WeightRestriction("1/3", "1/2"), ws)
+        checker.check([1, 1, 0, 0])
+        checker.check([2, 1, 1, 0])
+        assert checker.stats.checks == 2
+        total_verdicts = (
+            checker.stats.quick_valid
+            + checker.stats.quick_invalid
+            + checker.stats.quick_uncertain
+        )
+        assert total_verdicts == 2
+
+    def test_merge(self):
+        from repro.core import CheckStats
+
+        a = CheckStats(checks=1, dp_calls=2)
+        b = CheckStats(checks=3, quick_valid=1)
+        a.merge(b)
+        assert a.checks == 4
+        assert a.dp_calls == 2
+        assert a.quick_valid == 1
+
+    def test_no_quick_test_goes_straight_to_dp(self):
+        ws = normalize_weights([3, 2, 1, 1])
+        checker = make_checker(
+            WeightRestriction("1/3", "1/2"), ws, use_quick_test=False
+        )
+        checker.check([1, 1, 0, 0])
+        assert checker.stats.quick_valid == 0
+        assert checker.stats.quick_uncertain == 0
+        assert checker.stats.dp_calls == 1

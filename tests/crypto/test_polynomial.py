@@ -1,0 +1,109 @@
+"""Tests for polynomials and Lagrange interpolation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.field import PrimeField
+from repro.crypto.polynomial import Polynomial, interpolate_at, lagrange_coefficients_at
+
+F = PrimeField(101)
+
+
+class TestPolynomial:
+    def test_canonical_strips_leading_zeros(self):
+        p = Polynomial(F, (1, 2, 0, 0))
+        assert p.coefficients == (1, 2)
+        assert p.degree == 1
+
+    def test_zero_polynomial(self):
+        p = Polynomial(F, (0, 0))
+        assert p.degree == -1
+        assert p.evaluate(55) == 0
+
+    def test_evaluate_horner(self):
+        p = Polynomial(F, (3, 2, 1))  # 3 + 2x + x^2
+        assert p.evaluate(5) == (3 + 10 + 25) % 101
+
+    def test_addition(self):
+        a = Polynomial(F, (1, 2))
+        b = Polynomial(F, (3, 99, 5))
+        s = a + b
+        for x in range(10):
+            assert s.evaluate(x) == (a.evaluate(x) + b.evaluate(x)) % 101
+
+    def test_addition_cancels(self):
+        a = Polynomial(F, (1, 100))
+        b = Polynomial(F, (0, 1))
+        assert (a + b).degree == 0
+
+    def test_multiplication(self):
+        a = Polynomial(F, (1, 1))
+        b = Polynomial(F, (100, 1))  # (x+1)(x-1) = x^2 - 1
+        prod = a * b
+        for x in range(10):
+            assert prod.evaluate(x) == (x * x - 1) % 101
+
+    def test_mul_by_zero(self):
+        a = Polynomial(F, (1, 2, 3))
+        z = Polynomial(F, ())
+        assert (a * z).degree == -1
+
+    def test_mixed_fields_rejected(self):
+        other = PrimeField(97)
+        with pytest.raises(ValueError):
+            Polynomial(F, (1,)) + Polynomial(other, (1,))
+
+    def test_random_degree_and_constant(self):
+        rng = random.Random(0)
+        p = Polynomial.random(F, 4, rng, constant=17)
+        assert p.degree == 4
+        assert p.evaluate(0) == 17
+
+    def test_random_degree_zero(self):
+        rng = random.Random(0)
+        p = Polynomial.random(F, 0, rng, constant=5)
+        assert p.coefficients == (5,)
+
+    def test_random_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial.random(F, -1, random.Random(0))
+
+
+class TestLagrange:
+    def test_coefficients_reconstruct_constant(self):
+        # f(x) = 7: all interpolations yield 7.
+        xs = [1, 2, 3]
+        lams = lagrange_coefficients_at(F, xs, 0)
+        assert sum(lam * 7 for lam in lams) % 101 == 7
+
+    def test_interpolate_at_zero(self):
+        rng = random.Random(1)
+        poly = Polynomial.random(F, 3, rng, constant=42)
+        points = [(x, poly.evaluate(x)) for x in (2, 5, 7, 11)]
+        assert interpolate_at(F, points, 0) == 42
+
+    def test_interpolate_at_arbitrary_point(self):
+        rng = random.Random(2)
+        poly = Polynomial.random(F, 2, rng)
+        points = [(x, poly.evaluate(x)) for x in (1, 2, 3)]
+        for target in (0, 4, 50):
+            assert interpolate_at(F, points, target) == poly.evaluate(target)
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            lagrange_coefficients_at(F, [1, 1, 2])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        degree=st.integers(min_value=0, max_value=6),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_property_roundtrip(self, degree, seed):
+        rng = random.Random(seed)
+        poly = Polynomial.random(F, degree, rng)
+        xs = rng.sample(range(1, 101), degree + 1)
+        points = [(x, poly.evaluate(x)) for x in xs]
+        assert interpolate_at(F, points, 0) == poly.evaluate(0)

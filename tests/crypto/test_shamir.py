@@ -1,0 +1,132 @@
+"""Tests for plain and weighted Shamir secret sharing."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import WeightRestriction, solve
+from repro.crypto.field import PrimeField
+from repro.crypto.shamir import SecretSharing, deal_weighted
+from repro.sim.adversary import heaviest_under, most_tickets_under
+
+F = PrimeField(2**61 - 1)
+
+
+class TestSecretSharing:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SecretSharing(3, 4)
+        with pytest.raises(ValueError):
+            SecretSharing(3, 0)
+
+    def test_field_too_small(self):
+        with pytest.raises(ValueError):
+            SecretSharing(200, 2, PrimeField(101))
+
+    def test_roundtrip(self):
+        rng = random.Random(0)
+        ss = SecretSharing(7, 4, F)
+        shares = ss.deal(123456789, rng)
+        assert ss.reconstruct(shares[:4]) == 123456789
+        assert ss.reconstruct(shares[3:]) == 123456789
+
+    def test_insufficient_shares_rejected(self):
+        rng = random.Random(0)
+        ss = SecretSharing(5, 3, F)
+        shares = ss.deal(42, rng)
+        with pytest.raises(ValueError):
+            ss.reconstruct(shares[:2])
+
+    def test_duplicate_shares_do_not_count(self):
+        rng = random.Random(0)
+        ss = SecretSharing(5, 3, F)
+        shares = ss.deal(42, rng)
+        with pytest.raises(ValueError):
+            ss.reconstruct([shares[0], shares[0], shares[1]])
+
+    def test_k_minus_one_shares_leak_nothing(self):
+        """Information-theoretic check: for any k-1 shares, every candidate
+        secret remains consistent with some polynomial."""
+        rng = random.Random(3)
+        ss = SecretSharing(4, 2, PrimeField(13))
+        shares = ss.deal(5, rng)
+        one = shares[0]
+        # With one share of a degree-1 polynomial, any secret s is
+        # consistent: the line through (0, s) and (one.index, one.value).
+        for candidate in range(13):
+            slope = (one.value - candidate) * pow(one.index, 11, 13) % 13
+            assert (candidate + slope * one.index) % 13 == one.value
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        secret=st.integers(min_value=0, max_value=2**40),
+        n=st.integers(min_value=1, max_value=10),
+        data=st.data(),
+    )
+    def test_property_any_k_subset_reconstructs(self, secret, n, data):
+        k = data.draw(st.integers(min_value=1, max_value=n))
+        rng = random.Random(7)
+        ss = SecretSharing(n, k, F)
+        shares = ss.deal(secret, rng)
+        subset = data.draw(
+            st.permutations(shares).map(lambda p: list(p)[:k])
+        )
+        assert ss.reconstruct(subset) == secret
+
+
+class TestWeightedSharing:
+    WEIGHTS = [40, 25, 15, 10, 5, 3, 1, 1]
+
+    def _setup(self, alpha_w="1/3", alpha_n="1/2"):
+        result = solve(WeightRestriction(alpha_w, alpha_n), self.WEIGHTS)
+        rng = random.Random(1)
+        dealt = deal_weighted(987654321, result.assignment, alpha_n, rng, F)
+        return result, dealt
+
+    def test_threshold_definition(self):
+        result, dealt = self._setup()
+        import math
+
+        assert dealt.threshold == math.ceil(Fraction(1, 2) * result.total_tickets)
+        assert dealt.total_shares == result.total_tickets
+
+    def test_share_counts_match_tickets(self):
+        result, dealt = self._setup()
+        for i, t in enumerate(result.assignment):
+            assert len(dealt.shares_by_party[i]) == t
+
+    def test_honest_majority_reconstructs(self):
+        """Complement of any adversary below alpha_w can reconstruct."""
+        result, dealt = self._setup()
+        corrupt = most_tickets_under(self.WEIGHTS, result.assignment.to_list(), "1/3")
+        honest = [i for i in range(len(self.WEIGHTS)) if i not in corrupt]
+        assert dealt.can_reconstruct(honest)
+        assert dealt.reconstruct(honest) == 987654321
+
+    def test_adversary_below_threshold_cannot(self):
+        """The most ticket-greedy adversary under the weight budget holds
+        fewer shares than the threshold (the WR guarantee)."""
+        result, dealt = self._setup()
+        corrupt = most_tickets_under(self.WEIGHTS, result.assignment.to_list(), "1/3")
+        held = len(dealt.shares_of(sorted(corrupt)))
+        assert held < dealt.threshold
+        with pytest.raises(ValueError):
+            dealt.reconstruct(sorted(corrupt))
+
+    def test_heaviest_adversary_cannot(self):
+        result, dealt = self._setup()
+        corrupt = heaviest_under(self.WEIGHTS, "1/3")
+        assert not dealt.can_reconstruct(sorted(corrupt))
+
+    def test_zero_assignment_rejected(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            deal_weighted(1, [0, 0], "1/2", rng, F)
+
+    def test_bad_alpha_rejected(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            deal_weighted(1, [1, 1], "3/2", rng, F)

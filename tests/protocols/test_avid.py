@@ -1,0 +1,116 @@
+"""Integration tests for AVID erasure-coded storage, weighted and nominal."""
+
+import random
+
+import pytest
+
+from repro.codes import ReedSolomon
+from repro.protocols.avid import AvidParty, fragment_digest
+from repro.sim import build_world
+from repro.sim.adversary import heaviest_under
+from repro.sim.process import Party
+from repro.weighted.quorum import NominalQuorums, WeightedQuorums
+from repro.weighted.transform import qualification_setup
+from repro.weighted.virtual import VirtualUserMap
+
+WEIGHTS = [40, 25, 15, 10, 5, 3, 1, 1]
+
+
+class TestNominalAvid:
+    def test_disperse_store_retrieve(self):
+        n, t = 7, 2
+        quorums = NominalQuorums(n=n, t=t)
+        world = build_world(lambda pid: AvidParty(pid, quorums), n, seed=0)
+        code = ReedSolomon(k=t + 1, m=n)  # the (t+1, n) layout of [17]
+        data = [random.Random(1).randrange(256) for _ in range(t + 1)]
+        vmap = VirtualUserMap([1] * n)
+        commitment = world.party(0).disperse(data, code, vmap)
+        world.run()
+        assert all(p.stored_commitment == commitment for p in world.parties)
+        world.party(3).retrieve(commitment)
+        world.run()
+        assert world.party(3).retrieved == data
+
+    def test_retrieval_with_t_crashes_after_storage(self):
+        n, t = 7, 2
+        quorums = NominalQuorums(n=n, t=t)
+        world = build_world(lambda pid: AvidParty(pid, quorums), n, seed=1)
+        code = ReedSolomon(k=t + 1, m=n)
+        data = [5, 6, 7]
+        commitment = world.party(0).disperse(data, code, VirtualUserMap([1] * n))
+        world.run()
+        for pid in (1, 2):
+            world.party(pid).crash()
+        world.party(6).retrieve(commitment)
+        world.run()
+        assert world.party(6).retrieved == data
+
+
+class TestWeightedAvid:
+    def _setup_world(self, beta_n="1/4", seed=0):
+        setup = qualification_setup(WEIGHTS, "1/3", beta_n)
+        quorums = WeightedQuorums(WEIGHTS, "1/3")
+        code = ReedSolomon(k=setup.data_shards, m=setup.total_shards)
+        world = build_world(lambda pid: AvidParty(pid, quorums), len(WEIGHTS), seed=seed)
+        return setup, code, world
+
+    def test_disperse_store_retrieve(self):
+        setup, code, world = self._setup_world()
+        data = [random.Random(2).randrange(256) for _ in range(code.k)]
+        commitment = world.party(0).disperse(data, code, setup.vmap)
+        world.run()
+        assert all(p.stored_commitment == commitment for p in world.parties)
+        world.party(7).retrieve(commitment)
+        world.run()
+        assert world.party(7).retrieved == data
+
+    def test_fragments_follow_tickets(self):
+        setup, code, world = self._setup_world()
+        data = [1] * code.k
+        world.party(0).disperse(data, code, setup.vmap)
+        world.run()
+        for pid in range(len(WEIGHTS)):
+            assert len(world.party(pid).my_fragments) == setup.vmap.tickets[pid]
+
+    def test_retrieval_despite_corrupt_weight(self):
+        """After storage, parties holding < f_w weight crash; the honest
+        part of the storage quorum still reconstructs (Section 5.1)."""
+        setup, code, world = self._setup_world(seed=3)
+        data = [random.Random(3).randrange(256) for _ in range(code.k)]
+        commitment = world.party(0).disperse(data, code, setup.vmap)
+        world.run()
+        corrupt = heaviest_under(WEIGHTS, "1/3")
+        for pid in corrupt:
+            world.party(pid).crash()
+        retriever = next(p for p in range(len(WEIGHTS)) if p not in corrupt)
+        world.party(retriever).retrieve(commitment)
+        world.run()
+        assert world.party(retriever).retrieved == data
+
+    def test_inconsistent_dealer_not_stored(self):
+        """A dealer whose fragments do not match the hash list gets no
+        echoes and the data is never marked stored."""
+        setup, code, world = self._setup_world(seed=4)
+        fragments = code.encode([9] * code.k)
+        from repro.protocols.avid import AvidDisperse, _hash_fragment
+
+        bogus_hashes = tuple(b"\x00" * 32 for _ in fragments)
+        msg = AvidDisperse(
+            fragments=tuple(fragments[:1]),
+            hash_list=bogus_hashes,
+            commitment=b"bogus",
+            data_shards=code.k,
+            total_shards=code.m,
+        )
+        world.network.send(0, 1, msg)
+        world.run()
+        assert all(p.stored_commitment is None for p in world.parties)
+
+
+class TestFragmentDigest:
+    def test_deterministic_and_sensitive(self):
+        code = ReedSolomon(k=2, m=4)
+        frags_a = code.encode([1, 2])
+        frags_b = code.encode([1, 3])
+        assert fragment_digest(frags_a) == fragment_digest(frags_a)
+        assert fragment_digest(frags_a) != fragment_digest(frags_b)

@@ -1,0 +1,271 @@
+"""Integration tests: beacon, VABA (nominal + black-box), SSLE, checkpoints."""
+
+import random
+
+import pytest
+
+from repro.crypto import ThresholdSignatureScheme, WeightedCoin
+from repro.crypto.group import TEST_GROUP_256 as G
+from repro.protocols.checkpointing import CheckpointParty
+from repro.protocols.common_coin import BeaconParty
+from repro.protocols.ssle import SsleElection, chain_quality
+from repro.protocols.vaba import VabaParty, WeightedVabaRunner
+from repro.sim import build_world
+from repro.sim.adversary import heaviest_under, most_tickets_under
+from repro.weighted.transform import black_box_setup, blunt_setup
+
+WEIGHTS = [40, 25, 15, 10, 5, 3, 1, 1]
+
+
+class TestBeaconProtocol:
+    def _world(self, seed=0):
+        rng = random.Random(seed)
+        setup = blunt_setup(WEIGHTS, "1/3", "1/2")
+        coin = WeightedCoin(G, setup.result.assignment, "1/2", rng)
+        world = build_world(
+            lambda pid: BeaconParty(pid, coin, random.Random(1000 + pid)),
+            len(WEIGHTS),
+            seed=seed,
+        )
+        return setup, coin, world
+
+    def test_all_parties_agree_on_value(self):
+        setup, coin, world = self._world()
+        for pid in setup.vmap.parties_with_tickets():
+            world.party(pid).start_epoch(1)
+        world.run()
+        values = {p.values.get(1) for p in world.parties}
+        assert len(values) == 1 and None not in values
+
+    def test_multiple_epochs_differ(self):
+        setup, coin, world = self._world(seed=1)
+        for epoch in (1, 2):
+            for pid in setup.vmap.parties_with_tickets():
+                world.party(pid).start_epoch(epoch)
+        world.run()
+        p0 = world.party(0)
+        assert p0.values[1] != p0.values[2]
+
+    def test_corrupt_coalition_cannot_open_alone(self):
+        setup, coin, world = self._world(seed=2)
+        tickets = setup.result.assignment.to_list()
+        corrupt = most_tickets_under(WEIGHTS, tickets, "1/3")
+        for pid in sorted(corrupt):
+            world.party(pid).start_epoch(5)
+        world.run()
+        # Nobody reaches the threshold with only corrupt shares.
+        assert all(5 not in p.values for p in world.parties)
+
+    def test_share_counters(self):
+        setup, coin, world = self._world(seed=3)
+        for pid in setup.vmap.parties_with_tickets():
+            world.party(pid).start_epoch(1)
+        world.run()
+        signed = sum(p.counters["shares_signed"] for p in world.parties)
+        assert signed == setup.total_virtual
+
+
+class TestNominalVaba:
+    def run_vaba(self, n, t, inputs, crashed=(), seed=0, coin_seed=0):
+        world = build_world(
+            lambda pid: VabaParty(pid, n, t, coin_seed=coin_seed), n, seed=seed
+        )
+        for pid in crashed:
+            world.party(pid).crash()
+        for pid, value in inputs.items():
+            if pid not in crashed:
+                world.party(pid).propose(value)
+        world.run()
+        return world
+
+    def test_agreement_and_liveness(self):
+        n = 7
+        inputs = {i: f"v{i}".encode() for i in range(n)}
+        world = self.run_vaba(n, 2, inputs)
+        decided = {p.decided for p in world.parties}
+        assert len(decided) == 1 and None not in decided
+
+    def test_integrity(self):
+        """All-honest run decides some party's input (Definition 4.3)."""
+        n = 4
+        inputs = {i: f"input-{i}".encode() for i in range(n)}
+        world = self.run_vaba(n, 1, inputs, seed=2)
+        decided = next(iter({p.decided for p in world.parties}))
+        assert decided in inputs.values()
+
+    def test_tolerates_t_crashes(self):
+        n, t = 10, 3
+        inputs = {i: b"shared" for i in range(n)}
+        world = self.run_vaba(n, t, inputs, crashed=(0, 1, 2), seed=3)
+        live = [world.party(p).decided for p in range(3, n)]
+        assert all(d == b"shared" for d in live)
+
+    def test_external_validity(self):
+        n = 4
+        valid = lambda v: v.startswith(b"ok")
+        world = build_world(
+            lambda pid: VabaParty(pid, n, 1, validity_predicate=valid), n, seed=4
+        )
+        with pytest.raises(ValueError):
+            world.party(0).propose(b"bad")
+        for pid in range(n):
+            world.party(pid).propose(b"ok" + bytes([pid]))
+        world.run()
+        decided = next(iter({p.decided for p in world.parties}))
+        assert decided.startswith(b"ok")
+
+    def test_agreement_over_many_seeds(self):
+        for seed in range(6):
+            n = 4
+            inputs = {i: f"s{seed}-{i}".encode() for i in range(n)}
+            world = self.run_vaba(n, 1, inputs, seed=seed, coin_seed=seed)
+            decided = {p.decided for p in world.parties}
+            assert len(decided) == 1 and None not in decided, (seed, decided)
+
+
+class TestBlackBoxVaba:
+    def test_weighted_agreement_via_virtual_users(self):
+        setup = black_box_setup(WEIGHTS, "1/3", "1/12")
+        runner = WeightedVabaRunner(setup.vmap, WEIGHTS, setup.f_w, coin_seed=5)
+        outputs: dict[int, bytes] = {}
+        parties = runner.build_parties(
+            setup.f_n, on_decide=lambda vid, v: outputs.setdefault(vid, v)
+        )
+        from repro.sim import build_world as bw
+
+        world = bw(lambda vid: parties[vid], runner.n_virtual, seed=6)
+        # Real party i injects its input through all its virtual users.
+        for real in range(len(WEIGHTS)):
+            value = f"real-{real}".encode()
+            for vid in setup.vmap.virtual_ids(real):
+                world.party(vid).propose(value)
+        world.run()
+        assert len(set(outputs.values())) == 1
+        real_out = runner.real_output(outputs)
+        # Every real party (including zero-ticket ones) gets the value.
+        assert set(real_out) == set(range(len(WEIGHTS)))
+        assert len(set(real_out.values())) == 1
+
+    def test_virtual_fault_budget_matches_wr(self):
+        setup = black_box_setup(WEIGHTS, "1/3", "1/12")
+        runner = WeightedVabaRunner(setup.vmap, WEIGHTS, setup.f_w)
+        tickets = setup.result.assignment.to_list()
+        corrupt = most_tickets_under(WEIGHTS, tickets, setup.f_w)
+        corrupt_virtual = len(setup.vmap.corrupted_virtual(corrupt))
+        assert corrupt_virtual <= runner.virtual_fault_budget(setup.f_n)
+
+
+class TestSsle:
+    def test_only_owner_claims(self):
+        setup = black_box_setup(WEIGHTS, "1/3", "1/12")
+        election = SsleElection(setup.vmap, beacon_seed=1)
+        result = election.elect(epoch=10)
+        for party in range(len(WEIGHTS)):
+            assert election.claim(party, 10) == (party == result.leader)
+            assert election.verify_claim(party, 10) == (party == result.leader)
+
+    def test_chain_quality_bounded_by_ticket_fraction(self):
+        """Corrupt win rate tracks the corrupt ticket fraction, which WR
+        keeps below f_n (the relaxed chain-quality property)."""
+        setup = black_box_setup(WEIGHTS, "1/3", "1/12")
+        tickets = setup.result.assignment.to_list()
+        corrupt = most_tickets_under(WEIGHTS, tickets, setup.f_w)
+        election = SsleElection(setup.vmap, beacon_seed=2)
+        quality = chain_quality(election, corrupt, epochs=3000)
+        ticket_frac = setup.vmap.corrupted_fraction(corrupt)
+        assert ticket_frac < float(setup.f_n)
+        # Sampling tolerance: 3000 epochs, noise well under 5 points.
+        assert quality <= ticket_frac + 0.05
+
+    def test_leader_distribution_uniform_over_tickets(self):
+        vmap_tickets = [3, 1, 0, 2]
+        from repro.weighted.virtual import VirtualUserMap
+
+        election = SsleElection(VirtualUserMap(vmap_tickets), beacon_seed=3)
+        wins = [0, 0, 0, 0]
+        epochs = 6000
+        for e in range(epochs):
+            wins[election.elect(e).leader] += 1
+        for party, t in enumerate(vmap_tickets):
+            assert abs(wins[party] / epochs - t / 6) < 0.03
+
+    def test_empty_map_rejected(self):
+        from repro.weighted.virtual import VirtualUserMap
+
+        with pytest.raises(ValueError):
+            SsleElection(VirtualUserMap([0, 0]))
+
+    def test_epochs_validation(self):
+        setup = black_box_setup(WEIGHTS, "1/3", "1/12")
+        election = SsleElection(setup.vmap)
+        with pytest.raises(ValueError):
+            chain_quality(election, set(), 0)
+
+
+class TestCheckpointing:
+    def _world(self, mode, seed=0):
+        rng = random.Random(seed)
+        setup = blunt_setup(WEIGHTS, "1/3", "1/2")
+        scheme = ThresholdSignatureScheme(G, setup.total_virtual, setup.threshold)
+        scheme.keygen(rng)
+
+        def factory(pid):
+            return CheckpointParty(
+                pid,
+                scheme,
+                setup.vmap,
+                random.Random(5000 + pid),
+                mode=mode,
+                weights=WEIGHTS if mode == "tight" else None,
+                beta="1/2" if mode == "tight" else None,
+            )
+
+        return setup, build_world(factory, len(WEIGHTS), seed=seed)
+
+    def test_blunt_certification(self):
+        setup, world = self._world("blunt")
+        cp = b"cp-100"
+        for pid in range(len(WEIGHTS)):
+            world.party(pid).sign_checkpoint(cp)
+        world.run()
+        certs = {p.certificates.get(cp) for p in world.parties}
+        assert len(certs) == 1 and None not in certs
+
+    def test_tight_requires_weighted_votes(self):
+        setup, world = self._world("tight", seed=1)
+        cp = b"cp-200"
+        # Only a light coalition (< beta weight) signs: no certificate.
+        for pid in (4, 5, 6, 7):  # weight 10 of 100
+            world.party(pid).sign_checkpoint(cp)
+        world.run()
+        assert all(cp not in p.certificates for p in world.parties)
+        # The heavy parties join: certificate forms.
+        for pid in (0, 1, 2, 3):
+            world.party(pid).sign_checkpoint(cp)
+        world.run()
+        assert all(cp in p.certificates for p in world.parties)
+
+    def test_tight_mode_extra_round_costs_messages(self):
+        """Tight mode sends the extra vote round (paper: +1 message delay
+        per checkpoint)."""
+        _, blunt_world = self._world("blunt", seed=2)
+        _, tight_world = self._world("tight", seed=2)
+        cp = b"cp-300"
+        for world in (blunt_world, tight_world):
+            for pid in range(len(WEIGHTS)):
+                world.party(pid).sign_checkpoint(cp)
+            world.run()
+        assert (
+            tight_world.metrics.by_type.get("CheckpointVote", 0)
+            > 0
+        )
+        assert blunt_world.metrics.by_type.get("CheckpointVote", 0) == 0
+
+    def test_mode_validation(self):
+        setup = blunt_setup(WEIGHTS, "1/3", "1/2")
+        scheme = ThresholdSignatureScheme(G, setup.total_virtual, setup.threshold)
+        scheme.keygen(random.Random(0))
+        with pytest.raises(ValueError):
+            CheckpointParty(0, scheme, setup.vmap, random.Random(0), mode="loose")
+        with pytest.raises(ValueError):
+            CheckpointParty(0, scheme, setup.vmap, random.Random(0), mode="tight")

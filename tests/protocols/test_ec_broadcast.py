@@ -1,0 +1,141 @@
+"""Integration tests for online-error-correction dissemination."""
+
+import random
+
+import pytest
+
+from repro.codes import Fragment, ReedSolomon
+from repro.protocols.ec_broadcast import EcParty, GarbageEcParty, OnlineDecoder
+from repro.sim import build_world
+from repro.sim.adversary import heaviest_under, most_tickets_under
+from repro.weighted.transform import error_correction_setup
+
+WEIGHTS = [40, 25, 15, 10, 5, 3, 1, 1]
+
+
+class TestOnlineDecoder:
+    def _make(self, k=3, m=9, seed=0):
+        rng = random.Random(seed)
+        code = ReedSolomon(k=k, m=m)
+        data = [rng.randrange(code.field.size) for _ in range(k)]
+        fragments = code.encode(data)
+        decoder = OnlineDecoder(
+            ReedSolomon(k=k, m=m), OnlineDecoder.hash_data(data)
+        )
+        return data, fragments, decoder
+
+    def test_decodes_with_k_clean_fragments(self):
+        data, fragments, decoder = self._make()
+        for f in fragments[:2]:
+            assert decoder.add(f) is None
+        assert decoder.add(fragments[2]) == data
+
+    def test_garbage_absorbed_with_more_fragments(self):
+        data, fragments, decoder = self._make()
+        garbage = Fragment(index=0, value=fragments[0].value ^ 0x11 or 1)
+        decoder.add(garbage)
+        for f in fragments[1:]:
+            result = decoder.add(f)
+        assert result == data
+
+    def test_duplicate_index_keeps_first(self):
+        data, fragments, decoder = self._make()
+        decoder.add(fragments[0])
+        decoder.add(Fragment(index=0, value=fragments[0].value ^ 1))
+        assert len(decoder.fragments) == 1
+
+    def test_out_of_range_index_ignored(self):
+        data, fragments, decoder = self._make()
+        decoder.add(Fragment(index=99, value=1))
+        assert not decoder.fragments
+
+    def test_attempt_counter(self):
+        data, fragments, decoder = self._make()
+        for f in fragments[:3]:
+            decoder.add(f)
+        assert decoder.attempts >= 1
+
+    def test_wrong_hash_never_accepts(self):
+        data, fragments, _ = self._make()
+        decoder = OnlineDecoder(ReedSolomon(k=3, m=9), b"\x00" * 32)
+        for f in fragments:
+            assert decoder.add(f) is None
+
+
+class TestEcProtocol:
+    def _world(self, rate="1/4", seed=0, corrupt=frozenset()):
+        # Section 5.2 layout: f_w = 1/3, code rate 1/4, beta_n = 5/8.
+        setup = error_correction_setup(WEIGHTS, "1/3", rate)
+        code = ReedSolomon(k=setup.data_shards, m=setup.total_shards)
+        rng = random.Random(seed)
+        data = [rng.randrange(code.field.size) for _ in range(code.k)]
+        fragments = code.encode(data)
+        data_hash = OnlineDecoder.hash_data(data)
+
+        def factory(pid):
+            cls = GarbageEcParty if pid in corrupt else EcParty
+            return cls(pid, code, setup.vmap)
+
+        world = build_world(factory, len(WEIGHTS), seed=seed)
+        for pid in range(len(WEIGHTS)):
+            mine = [fragments[v] for v in setup.vmap.virtual_ids(pid)]
+            world.party(pid).install(mine, data_hash)
+        return setup, data, world
+
+    def test_all_honest_reconstruct(self):
+        setup, data, world = self._world()
+        world.party(0).reconstruct()
+        world.run()
+        assert world.party(0).reconstructed == data
+
+    def test_reconstruction_despite_garbage_byzantine(self):
+        """Corrupt parties (weight < 1/3) answer with garbage; the
+        error-correction budget absorbs them (Section 5.2)."""
+        corrupt = frozenset(heaviest_under(WEIGHTS, "1/3"))
+        setup, data, world = self._world(seed=1, corrupt=corrupt)
+        reconstructor = next(p for p in range(len(WEIGHTS)) if p not in corrupt)
+        world.party(reconstructor).reconstruct()
+        world.run()
+        assert world.party(reconstructor).reconstructed == data
+
+    def test_reconstruction_against_ticket_greedy_adversary(self):
+        """The worst adversary for the layout -- grabbing the most
+        fragments its weight budget buys -- is still absorbed: WQ plus the
+        rate condition guarantee honest fragments >= k + 2e."""
+        probe = error_correction_setup(WEIGHTS, "1/3", "1/4")
+        tickets = probe.result.assignment.to_list()
+        corrupt = frozenset(most_tickets_under(WEIGHTS, tickets, "1/3"))
+        setup, data, world = self._world(seed=5, corrupt=corrupt)
+        corrupt_frags = sum(setup.vmap.tickets[i] for i in corrupt)
+        assert corrupt_frags <= setup.error_budget(setup.total_shards)
+        reconstructor = next(p for p in range(len(WEIGHTS)) if p not in corrupt)
+        world.party(reconstructor).reconstruct()
+        world.run()
+        assert world.party(reconstructor).reconstructed == data
+
+    def test_fragment_position_authenticated(self):
+        """Fragments claimed for indices the sender does not own are
+        dropped (channel identity authenticates positions in ADD)."""
+        setup, data, world = self._world(seed=2)
+        party = world.party(0)
+        party.reconstruct()
+        from repro.protocols.ec_broadcast import EcFragment
+
+        foreign_index = next(iter(setup.vmap.virtual_ids(1)))
+        before = dict(party.decoder.fragments)
+        party._handle_fragment(
+            EcFragment(Fragment(index=foreign_index, value=7)), sender=0
+        )
+        assert party.decoder.fragments == before
+
+    def test_requires_install(self):
+        setup, data, world = self._world(seed=3)
+        fresh = EcParty(99, world.party(0).code, setup.vmap)
+        with pytest.raises(RuntimeError):
+            fresh.reconstruct()
+
+    def test_decode_work_counted(self):
+        setup, data, world = self._world(seed=4)
+        world.party(0).reconstruct()
+        world.run()
+        assert world.party(0).counters["decode_work"] > 0

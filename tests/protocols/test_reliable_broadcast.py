@@ -1,0 +1,121 @@
+"""Integration tests for Bracha broadcast, nominal and weighted."""
+
+import pytest
+
+from repro.protocols.reliable_broadcast import (
+    BroadcastParty,
+    EquivocatingSender,
+    SilentParty,
+)
+from repro.sim import TargetedDelay, UniformDelay, build_world
+from repro.weighted.quorum import NominalQuorums, WeightedQuorums
+
+WEIGHTS = [40, 25, 15, 10, 5, 3, 1, 1]
+
+
+def run_nominal(n=7, t=2, corrupt=(), sender=None, seed=0, delay=None):
+    quorums = NominalQuorums(n=n, t=t)
+
+    def factory(pid):
+        if pid in corrupt:
+            return SilentParty(pid)
+        return BroadcastParty(pid, quorums)
+
+    world = build_world(factory, n, seed=seed, delay_model=delay)
+    src = sender if sender is not None else n - 1
+    world.party(src).broadcast_value(b"payload")
+    world.run()
+    return world
+
+
+class TestNominalBroadcast:
+    def test_all_honest_deliver(self):
+        world = run_nominal()
+        for p in world.parties:
+            if isinstance(p, BroadcastParty):
+                assert p.delivered == b"payload"
+
+    def test_tolerates_t_silent(self):
+        world = run_nominal(corrupt=(0, 1))
+        honest = [p for p in world.parties if isinstance(p, BroadcastParty)]
+        assert all(p.delivered == b"payload" for p in honest)
+
+    def test_fails_beyond_t_silent(self):
+        """With t+1 silent parties (more than tolerated), delivery may
+        stall -- totality needs n - t responsive parties."""
+        world = run_nominal(corrupt=(0, 1, 2))
+        honest = [p for p in world.parties if isinstance(p, BroadcastParty)]
+        assert all(p.delivered is None for p in honest)
+
+    def test_message_complexity_quadratic(self):
+        world = run_nominal()
+        # SEND n + ECHO n^2 + READY n^2 order of magnitude.
+        n = 7
+        assert n <= world.metrics.messages <= 3 * n * n
+
+    def test_agreement_under_equivocation(self):
+        n, t = 7, 2
+        quorums = NominalQuorums(n=n, t=t)
+
+        def factory(pid):
+            if pid == 0:
+                return EquivocatingSender(pid, quorums)
+            return BroadcastParty(pid, quorums)
+
+        world = build_world(factory, n, seed=3)
+        world.party(0).broadcast_two(b"A", b"B")
+        world.run()
+        delivered = {
+            p.delivered
+            for p in world.parties
+            if isinstance(p, BroadcastParty) and p.pid != 0 and p.delivered
+        }
+        # Agreement: never both values.
+        assert len(delivered) <= 1
+
+    def test_adversarial_scheduling_preserves_totality(self):
+        delay = TargetedDelay(
+            base=UniformDelay(), slow_parties=frozenset({3, 4}), factor=40.0
+        )
+        world = run_nominal(delay=delay, seed=8)
+        honest = [p for p in world.parties if isinstance(p, BroadcastParty)]
+        assert all(p.delivered == b"payload" for p in honest)
+
+
+class TestWeightedBroadcast:
+    def test_all_deliver(self):
+        quorums = WeightedQuorums(WEIGHTS, "1/3")
+        world = build_world(lambda pid: BroadcastParty(pid, quorums), 8, seed=1)
+        world.party(0).broadcast_value(b"w")
+        world.run()
+        assert all(p.delivered == b"w" for p in world.parties)
+
+    def test_tolerates_corrupt_weight_below_third(self):
+        from repro.sim.adversary import heaviest_under
+
+        corrupt = heaviest_under(WEIGHTS, "1/3")
+        quorums = WeightedQuorums(WEIGHTS, "1/3")
+
+        def factory(pid):
+            if pid in corrupt:
+                return SilentParty(pid)
+            return BroadcastParty(pid, quorums)
+
+        world = build_world(factory, 8, seed=2)
+        sender = next(p for p in range(8) if p not in corrupt)
+        world.party(sender).broadcast_value(b"w")
+        world.run()
+        honest = [p for p in world.parties if isinstance(p, BroadcastParty)]
+        assert all(p.delivered == b"w" for p in honest)
+
+    def test_same_code_both_models(self):
+        """The same BroadcastParty class runs nominal and weighted --
+        the weighted-voting observation of Section 1.2."""
+        n = 4
+        nominal = NominalQuorums(n=n, t=1)
+        weighted = WeightedQuorums([1] * n, "1/3")
+        for quorums in (nominal, weighted):
+            world = build_world(lambda pid: BroadcastParty(pid, quorums), n, seed=5)
+            world.party(0).broadcast_value(b"x")
+            world.run()
+            assert all(p.delivered == b"x" for p in world.parties)

@@ -1,0 +1,116 @@
+"""Integration tests for the composed asynchronous SMR (Section 6.1)."""
+
+import hashlib
+import random
+
+import pytest
+
+from repro.protocols.smr import SmrParty, batch_position
+from repro.sim import TargetedDelay, UniformDelay, build_world
+from repro.sim.adversary import heaviest_under
+from repro.weighted.quorum import NominalQuorums, WeightedQuorums
+
+WEIGHTS = [40, 25, 15, 10, 5, 3, 1, 1]
+N = len(WEIGHTS)
+
+
+def deterministic_coin(epoch: int) -> int:
+    """A stand-in coin: the real one is repro.protocols.common_coin."""
+    return int.from_bytes(hashlib.sha256(f"smr|{epoch}".encode()).digest()[:4], "big")
+
+
+def make_world(quorums, seed=0, delay=None, crashed=()):
+    world = build_world(
+        lambda pid: SmrParty(pid, N, quorums, deterministic_coin),
+        N,
+        seed=seed,
+        delay_model=delay,
+    )
+    for pid in crashed:
+        world.party(pid).crash()
+    return world
+
+
+class TestBatchPosition:
+    def test_deterministic_and_distinct(self):
+        positions = [batch_position(p, 12345, N) for p in range(N)]
+        assert sorted(positions) == list(range(N))
+
+    def test_rotation_depends_on_coin(self):
+        a = [batch_position(p, 1, N) for p in range(N)]
+        b = [batch_position(p, 2, N) for p in range(N)]
+        assert a != b
+
+
+class TestWeightedSmr:
+    def test_all_replicas_same_log(self):
+        quorums = WeightedQuorums(WEIGHTS, "1/3")
+        world = make_world(quorums, seed=1)
+        for epoch in (0, 1):
+            for pid in range(N):
+                world.party(pid).propose_batch(epoch, f"e{epoch}-p{pid}".encode())
+        world.run()
+        reference = world.party(0).ordered_log(0)
+        assert len(reference) == N
+        for pid in range(1, N):
+            assert world.party(pid).ordered_log(0) == reference
+            assert world.party(pid).ordered_log(1) == world.party(0).ordered_log(1)
+        assert all(world.party(p).epoch_closed(0) for p in range(N))
+
+    def test_liveness_with_corrupt_weight_crashed(self):
+        corrupt = heaviest_under(WEIGHTS, "1/3")
+        quorums = WeightedQuorums(WEIGHTS, "1/3")
+        world = make_world(quorums, seed=2, crashed=tuple(corrupt))
+        for pid in range(N):
+            if pid not in corrupt:
+                world.party(pid).propose_batch(0, f"b{pid}".encode())
+        world.run()
+        honest = [p for p in range(N) if p not in corrupt]
+        logs = {tuple(world.party(p).ordered_log(0)) for p in honest}
+        assert len(logs) == 1
+        # Every live replica closed the epoch: delivered proposers carry
+        # more than (1 - f_w) of the weight.
+        assert all(world.party(p).epoch_closed(0) for p in honest)
+
+    def test_positions_agree_under_adversarial_scheduling(self):
+        quorums = WeightedQuorums(WEIGHTS, "1/3")
+        delay = TargetedDelay(
+            base=UniformDelay(), slow_parties=frozenset({2, 5}), factor=30.0
+        )
+        world = make_world(quorums, seed=3, delay=delay)
+        for pid in range(N):
+            world.party(pid).propose_batch(0, bytes([pid]))
+        world.run()
+        logs = {tuple(world.party(p).ordered_log(0)) for p in range(N)}
+        assert len(logs) == 1
+
+    def test_commit_counters(self):
+        quorums = WeightedQuorums(WEIGHTS, "1/3")
+        world = make_world(quorums, seed=4)
+        world.party(0).propose_batch(0, b"solo")
+        world.run()
+        assert all(
+            world.party(p).counters["batches_committed"] == 1 for p in range(N)
+        )
+
+
+class TestNominalSmr:
+    def test_same_code_runs_nominal(self):
+        quorums = NominalQuorums(n=N, t=2)
+        world = make_world(quorums, seed=5)
+        for pid in range(N):
+            world.party(pid).propose_batch(7, f"n{pid}".encode())
+        world.run()
+        logs = {tuple(world.party(p).ordered_log(7)) for p in range(N)}
+        assert len(logs) == 1
+        assert len(next(iter(logs))) == N
+
+    def test_non_proposer_send_ignored(self):
+        quorums = NominalQuorums(n=N, t=2)
+        world = make_world(quorums, seed=6)
+        from repro.protocols.smr import BatchSend
+
+        # Party 3 forges a SEND claiming to be proposer 5.
+        world.network.send(3, 0, BatchSend(epoch=0, proposer=5, payload=b"forged"))
+        world.run()
+        assert world.party(0).ordered_log(0) == []

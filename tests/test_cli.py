@@ -1,0 +1,81 @@
+"""Tests for the CLI mirroring the paper's prototype interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_wr_arguments(self):
+        args = build_parser().parse_args(
+            ["wr", "--alpha-w", "1/3", "--alpha-n", "1/2", "--weights", "1", "2"]
+        )
+        assert args.problem == "wr"
+        assert args.alpha_w == "1/3"
+        assert not args.linear
+
+    def test_weight_sources_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "wr", "--alpha-w", "1/3", "--alpha-n", "1/2",
+                    "--weights", "1", "--chain", "tezos",
+                ]
+            )
+
+
+class TestMain:
+    def test_wr_inline(self, capsys):
+        code = main(
+            ["wr", "--alpha-w", "1/3", "--alpha-n", "1/2", "--weights", "40", "25", "15"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total tickets" in out
+
+    def test_wq_linear_mode(self, capsys):
+        code = main(
+            [
+                "wq", "--beta-w", "2/3", "--beta-n", "1/2",
+                "--weights", "40", "25", "15", "10", "--linear",
+            ]
+        )
+        assert code == 0
+        assert "mode            : linear" in capsys.readouterr().out
+
+    def test_ws_full_output(self, capsys):
+        code = main(
+            [
+                "ws", "--alpha", "1/3", "--beta", "1/2",
+                "--weights", "4", "3", "2", "1", "--full-output",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "party 0:" in out
+
+    def test_weights_file(self, tmp_path, capsys):
+        f = tmp_path / "w.txt"
+        f.write_text("100\n50\n\n25\n")
+        code = main(
+            ["wr", "--alpha-w", "1/4", "--alpha-n", "1/3", "--weights-file", str(f)]
+        )
+        assert code == 0
+        assert "parties (n)     : 3" in capsys.readouterr().out
+
+    def test_invalid_parameters_exit_code(self, capsys):
+        code = main(
+            ["wr", "--alpha-w", "1/2", "--alpha-n", "1/3", "--weights", "1", "2"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_fraction_weights(self, capsys):
+        code = main(
+            ["wr", "--alpha-w", "1/3", "--alpha-n", "1/2", "--weights", "1/2", "0.25", "3"]
+        )
+        assert code == 0

@@ -1,0 +1,83 @@
+"""Tests for nominal and weighted quorum policies."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.weighted.quorum import NominalQuorums, WeightedQuorums
+
+
+class TestNominalQuorums:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NominalQuorums(n=6, t=2)  # needs n >= 3t+1
+
+    def test_thresholds(self):
+        q = NominalQuorums(n=7, t=2)
+        assert q.echo_quorum(range(5))
+        assert not q.echo_quorum(range(4))
+        assert q.ready_amplify(range(3))
+        assert not q.ready_amplify(range(2))
+        assert q.deliver_quorum(range(5))
+        assert q.storage_quorum(range(5))
+        assert not q.storage_quorum(range(4))
+
+    def test_duplicates_ignored(self):
+        q = NominalQuorums(n=4, t=1)
+        assert not q.ready_amplify([1, 1, 1])
+
+    def test_quorum_intersection_in_honest_party(self):
+        """Any two echo quorums intersect in at least one honest party --
+        the safety backbone of Bracha broadcast."""
+        n, t = 7, 2
+        q = NominalQuorums(n=n, t=t)
+        size = n - t
+        # Two quorums of size n-t intersect in >= n - 2t = t+1 parties,
+        # more than the t corrupt ones.
+        assert 2 * size - n >= t + 1
+
+
+class TestWeightedQuorums:
+    WEIGHTS = [40, 25, 15, 10, 5, 3, 1, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedQuorums(self.WEIGHTS, "1/2")
+        with pytest.raises(ValueError):
+            WeightedQuorums(self.WEIGHTS, "0")
+
+    def test_echo_threshold(self):
+        q = WeightedQuorums(self.WEIGHTS, "1/3")
+        # total = 100; echo needs weight > 66.67: {0,1,2} = 80.
+        assert q.echo_quorum([0, 1, 2])
+        assert not q.echo_quorum([0, 1])  # 65
+
+    def test_ready_amplify(self):
+        q = WeightedQuorums(self.WEIGHTS, "1/3")
+        assert q.ready_amplify([0])  # 40 > 33.3
+        assert not q.ready_amplify([2, 3, 4])  # 30
+
+    def test_storage_quorum(self):
+        q = WeightedQuorums(self.WEIGHTS, "1/3")
+        assert q.storage_quorum([0, 1, 2])  # 80 > 66.7
+        assert not q.storage_quorum([1, 2, 3, 4, 5, 6, 7])  # 60
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        weights=st.lists(st.integers(min_value=1, max_value=50), min_size=2, max_size=9),
+        data=st.data(),
+    )
+    def test_property_weighted_quorum_intersection(self, weights, data):
+        """Two echo quorums (> (1-f)W each) overlap in weight > (1-2f)W >
+        f W, i.e. in at least one honest party."""
+        q = WeightedQuorums(weights, "1/3")
+        n = len(weights)
+        a = set(data.draw(st.lists(st.integers(0, n - 1), max_size=n)))
+        b = set(data.draw(st.lists(st.integers(0, n - 1), max_size=n)))
+        if q.echo_quorum(a) and q.echo_quorum(b):
+            overlap_weight = q.weight(a & b)
+            assert overlap_weight > q.f_w * q.total - (q.total - q.weight(a | b))
+            # Direct statement: the intersection outweighs any corruptible set.
+            assert overlap_weight > (1 - 2 * q.f_w) * q.total

@@ -1,21 +1,29 @@
 """Command-line interface mirroring the paper's prototype solver.
 
 The Swiper prototype is a CLI with a ``--linear`` flag (Section 3.1);
-this module reproduces that interface::
+this module reproduces that interface and extends it with a live-cluster
+runner::
 
     python -m repro.cli wr --alpha-w 1/3 --alpha-n 1/2 --weights 40 25 15 10
     python -m repro.cli wq --beta-w 2/3 --beta-n 1/2 --weights-file stake.txt
     python -m repro.cli ws --alpha 1/3 --beta 1/2 --chain tezos --linear
+    python -m repro.cli cluster rbc --n 7 --transport tcp --weights-file stake.txt
+    python -m repro.cli cluster smr --n 7 --epochs 2 --json
 
 Weights come from ``--weights`` (inline), ``--weights-file`` (one number
 per line), or ``--chain`` (a calibrated snapshot).  Output is the ticket
-assignment summary, or the full per-party list with ``--full-output``.
+assignment summary, or the full per-party list with ``--full-output``;
+``--json`` switches every subcommand to machine-readable output.  Invalid
+parameter combinations exit with status 2.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import sys
+from fractions import Fraction
 from typing import Optional, Sequence
 
 from .core import (
@@ -36,8 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="problem", required=True)
 
-    def add_common(p: argparse.ArgumentParser) -> None:
-        source = p.add_mutually_exclusive_group(required=True)
+    def add_weight_source(p: argparse.ArgumentParser, *, required: bool) -> None:
+        source = p.add_mutually_exclusive_group(required=required)
         source.add_argument(
             "--weights", nargs="+", help="inline weights (ints, floats, or a/b)"
         )
@@ -49,6 +57,9 @@ def build_parser() -> argparse.ArgumentParser:
             choices=["aptos", "tezos", "filecoin", "algorand"],
             help="calibrated chain snapshot",
         )
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        add_weight_source(p, required=True)
         p.add_argument(
             "--linear",
             action="store_true",
@@ -58,6 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--full-output",
             action="store_true",
             help="print the complete per-party ticket list",
+        )
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="machine-readable JSON output",
         )
 
     wr = sub.add_parser("wr", help="Weight Restriction (Problem 1)")
@@ -75,23 +91,68 @@ def build_parser() -> argparse.ArgumentParser:
     ws.add_argument("--beta", required=True)
     add_common(ws)
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="run a weighted protocol live over the asyncio runtime",
+        description=(
+            "Execute a protocol over real transports (repro.runtime) and "
+            "report message/byte/latency metrics.  With a weight source the "
+            "protocol uses weighted quorums (resilience --f-w); without one "
+            "it falls back to nominal n = 3t + 1 thresholds."
+        ),
+    )
+    cluster.add_argument(
+        "protocol", choices=["rbc", "smr"], help="protocol to execute"
+    )
+    cluster.add_argument(
+        "--n", type=int, default=None, help="cluster size (default: len(weights))"
+    )
+    cluster.add_argument(
+        "--transport",
+        choices=["inproc", "tcp"],
+        default="inproc",
+        help="live transport backend",
+    )
+    add_weight_source(cluster, required=False)
+    cluster.add_argument(
+        "--f-w", default="1/3", help="weighted resilience threshold (default 1/3)"
+    )
+    cluster.add_argument(
+        "--payload-size", type=int, default=32, help="bytes per broadcast payload"
+    )
+    cluster.add_argument(
+        "--epochs", type=int, default=1, help="SMR epochs to run (smr only)"
+    )
+    cluster.add_argument(
+        "--timeout", type=float, default=60.0, help="seconds before giving up"
+    )
+    cluster.add_argument(
+        "--crash", type=int, nargs="*", default=[], help="node ids to crash at start"
+    )
+    cluster.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+
     return parser
 
 
-def _load_weights(args: argparse.Namespace) -> list:
+def _load_weights(args: argparse.Namespace) -> Optional[list]:
     if args.weights is not None:
         return list(args.weights)
     if args.weights_file is not None:
         with open(args.weights_file) as fh:
             return [line.strip() for line in fh if line.strip()]
-    from .datasets import load_chain
+    if getattr(args, "chain", None) is not None:
+        from .datasets import load_chain
 
-    return list(load_chain(args.chain).weights)
+        return list(load_chain(args.chain).weights)
+    return None
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+# -- solver subcommands (wr / wq / ws) -------------------------------------------------
+
+
+def _run_solver_command(args: argparse.Namespace) -> int:
     mode = "linear" if args.linear else "full"
     try:
         if args.problem == "wr":
@@ -102,11 +163,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             problem = WeightSeparation(args.alpha, args.beta)
         weights = _load_weights(args)
         result = solve(problem, weights, mode=mode)
-    except ValueError as exc:
+    except (ValueError, ZeroDivisionError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     a = result.assignment
+    if args.json:
+        payload = {
+            "problem": args.problem,
+            "problem_repr": str(problem),
+            "parties": len(a),
+            "mode": mode,
+            "total_tickets": a.total,
+            "ticket_bound": _bound_as_json(result.ticket_bound),
+            "max_per_party": a.max_tickets,
+            "ticket_holders": a.holders,
+            "solve_seconds": result.elapsed_seconds,
+        }
+        if args.full_output:
+            payload["tickets"] = list(a)
+        print(json.dumps(payload))
+        return 0
+
     print(f"problem         : {problem}")
     print(f"parties (n)     : {len(a)}")
     print(f"mode            : {mode}")
@@ -119,6 +197,174 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for i, t in enumerate(a):
             print(f"party {i}: {t}")
     return 0
+
+
+def _bound_as_json(bound):
+    """Theorem bounds may be exact fractions; JSON wants numbers/strings."""
+    if isinstance(bound, Fraction):
+        return int(bound) if bound.denominator == 1 else str(bound)
+    if isinstance(bound, (int, float)):
+        return bound
+    return str(bound)
+
+
+# -- cluster subcommand ------------------------------------------------------------
+
+
+def _run_cluster_command(args: argparse.Namespace) -> int:
+    from .core.types import as_fraction
+    from .protocols.common_coin import deterministic_coin
+    from .protocols.reliable_broadcast import BroadcastParty
+    from .protocols.smr import SmrParty
+    from .runtime import run_cluster
+    from .weighted.quorum import NominalQuorums, WeightedQuorums
+
+    try:
+        # Validate eagerly even when the nominal layout ends up ignoring it.
+        f_w = as_fraction(args.f_w)
+        if not 0 < f_w < Fraction(1, 2):
+            raise ValueError("--f-w must be in (0, 1/2)")
+        weights = _load_weights(args)
+        if weights is not None:
+            n = args.n if args.n is not None else len(weights)
+            if n != len(weights):
+                raise ValueError(
+                    f"--n {n} does not match the {len(weights)} provided weights"
+                )
+            quorums = WeightedQuorums(weights, f_w)
+            layout = "weighted"
+        else:
+            if args.n is None:
+                raise ValueError("need --n or a weight source (--weights/...)")
+            n = args.n
+            if n < 4:
+                raise ValueError("nominal quorums need n >= 4 (n = 3t + 1, t >= 1)")
+            quorums = NominalQuorums(n=n, t=(n - 1) // 3)
+            layout = "nominal"
+        if args.payload_size < 1:
+            raise ValueError("--payload-size must be positive")
+        if args.epochs < 1:
+            raise ValueError("--epochs must be positive")
+        crash = sorted(set(args.crash))
+        bad_crash = [pid for pid in crash if not 0 <= pid < n]
+        if bad_crash:
+            raise ValueError(f"--crash ids out of range: {bad_crash}")
+
+        live = [pid for pid in range(n) if pid not in crash]
+        if not live:
+            raise ValueError("--crash covers every node; nothing left to run")
+        # Refuse crash sets that make quorums provably unreachable -- the
+        # run would only burn --timeout before failing.
+        if layout == "weighted":
+            crashed_weight = sum(quorums.weights[pid] for pid in crash)
+            budget = quorums.f_w * quorums.total
+            if crashed_weight >= budget:
+                raise ValueError(
+                    f"--crash set holds weight {crashed_weight} >= the "
+                    f"resilience budget f_w*W = {budget}; quorums can never form"
+                )
+        elif len(crash) > quorums.t:
+            raise ValueError(
+                f"--crash set of {len(crash)} exceeds the nominal "
+                f"fault tolerance t = {quorums.t}; quorums can never form"
+            )
+        payload_for = lambda pid, epoch: hashlib.sha256(
+            f"{args.protocol}|{epoch}|{pid}".encode()
+        ).digest() * ((args.payload_size + 31) // 32)
+
+        if args.protocol == "rbc":
+            sender = live[0]
+            expected = payload_for(sender, 0)[: args.payload_size]
+
+            def factory(pid: int) -> BroadcastParty:
+                return BroadcastParty(pid, quorums)
+
+            def setup(cluster) -> None:
+                for pid in crash:
+                    cluster.crash_node(pid)
+                cluster.party(sender).broadcast_value(expected)
+
+            def done(cluster) -> bool:
+                return all(
+                    cluster.party(pid).delivered == expected for pid in live
+                )
+
+        else:  # smr
+            epochs = range(args.epochs)
+
+            coin = deterministic_coin("cli")
+
+            def factory(pid: int) -> SmrParty:
+                return SmrParty(pid, n, quorums, coin)
+
+            def setup(cluster) -> None:
+                for pid in crash:
+                    cluster.crash_node(pid)
+                for epoch in epochs:
+                    for pid in live:
+                        cluster.party(pid).propose_batch(
+                            epoch, payload_for(pid, epoch)[: args.payload_size]
+                        )
+
+            def done(cluster) -> bool:
+                return all(
+                    len(cluster.party(pid).ordered_log(epoch)) == len(live)
+                    for pid in live
+                    for epoch in epochs
+                )
+
+        cluster = run_cluster(
+            factory,
+            n,
+            transport=args.transport,
+            setup=setup,
+            stop_when=done,
+            timeout=args.timeout,
+        )
+    except (ValueError, ZeroDivisionError, OSError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    m = cluster.metrics
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "protocol": args.protocol,
+                    "transport": args.transport,
+                    "layout": layout,
+                    "n": n,
+                    "crashed": crash,
+                    "epochs": args.epochs if args.protocol == "smr" else None,
+                    "payload_size": args.payload_size,
+                    "metrics": m.as_dict(),
+                }
+            )
+        )
+        return 0
+
+    print(f"protocol        : {args.protocol} ({layout} quorums)")
+    print(f"transport       : {args.transport}")
+    print(f"cluster size    : {n} ({len(live)} live)")
+    print(f"messages        : {m.messages}")
+    print(f"payload bytes   : {m.bytes}")
+    print(f"wall clock      : {m.elapsed_seconds * 1000:.1f} ms")
+    for name, t in sorted(m.phase_seconds.items()):
+        print(f"phase {name:<10}: {t * 1000:.1f} ms")
+    for type_name in sorted(m.by_type):
+        print(
+            f"  {type_name:<14}: {m.by_type[type_name]} msgs / "
+            f"{m.bytes_by_type[type_name]} B"
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.problem == "cluster":
+        return _run_cluster_command(args)
+    return _run_solver_command(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

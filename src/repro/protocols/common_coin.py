@@ -10,6 +10,7 @@ the epoch, because they hold fewer than ``alpha_n T`` shares (WR).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -18,7 +19,22 @@ from ..crypto.common_coin import WeightedCoin
 from ..crypto.threshold_sig import SignatureShare
 from ..sim.process import Party
 
-__all__ = ["CoinShareMsg", "BeaconParty"]
+__all__ = ["CoinShareMsg", "BeaconParty", "deterministic_coin"]
+
+
+def deterministic_coin(tag: str) -> Callable[[int], int]:
+    """A stand-in epoch coin: a pure function of ``(tag, epoch)``.
+
+    Drivers that need a common coin but not unpredictability (CLI runs,
+    benchmarks, examples) share this instead of the full threshold-
+    signature beacon; ``tag`` domain-separates independent experiments.
+    """
+
+    def coin(epoch: int) -> int:
+        digest = hashlib.sha256(f"{tag}|{epoch}".encode()).digest()
+        return int.from_bytes(digest[:4], "big")
+
+    return coin
 
 
 @dataclass(frozen=True)

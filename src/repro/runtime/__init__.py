@@ -1,0 +1,34 @@
+"""Live asyncio execution runtime (second backend beside :mod:`repro.sim`).
+
+Runs the *same* :class:`~repro.sim.process.Party` subclasses that the
+discrete-event simulator executes, but over real concurrent transports:
+in-process asyncio queues (:class:`InProcTransport`) for fast
+deterministic tests, or TCP streams (:class:`TcpTransport`) with one
+listener per node for wall-clock measurements.  Messages are serialized
+through a registry-based binary codec, so reported byte counts are real
+wire payloads rather than the sim's estimates.
+"""
+
+from .cluster import TRANSPORTS, Cluster, RuntimeMetrics, run_cluster
+from .codec import CodecError, CodecRegistry, FrameAssembler, default_registry
+from .faults import DeliveryDecision, FaultController
+from .node import NodeNetwork, RuntimeNode
+from .transport import InProcTransport, TcpTransport, Transport
+
+__all__ = [
+    "Cluster",
+    "RuntimeMetrics",
+    "run_cluster",
+    "TRANSPORTS",
+    "CodecError",
+    "CodecRegistry",
+    "FrameAssembler",
+    "default_registry",
+    "DeliveryDecision",
+    "FaultController",
+    "NodeNetwork",
+    "RuntimeNode",
+    "Transport",
+    "InProcTransport",
+    "TcpTransport",
+]

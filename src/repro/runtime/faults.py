@@ -1,0 +1,93 @@
+"""Transport-level fault injection for the live runtime.
+
+Mirrors the roles of :mod:`repro.sim.adversary` in the discrete-event
+world: crash a node, partition the cluster into groups, or add link
+delay.  Faults apply at the *delivery point* of a transport, so the two
+transport implementations behave identically under the same plan.
+
+Like the sim's :class:`~repro.sim.network.TargetedDelay`, delays model an
+asynchronous adversary -- they slow links, never permanently drop
+honest-to-honest traffic.  Partitions *do* drop traffic while active;
+heal the partition to restore the asynchrony assumption before asserting
+liveness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = ["DeliveryDecision", "FaultController"]
+
+
+@dataclass(frozen=True)
+class DeliveryDecision:
+    """What the transport should do with one message on link ``src -> dst``."""
+
+    deliver: bool
+    delay: float = 0.0
+
+    DELIVER = None  # type: DeliveryDecision  # populated below
+    DROP = None  # type: DeliveryDecision
+
+
+DeliveryDecision.DELIVER = DeliveryDecision(deliver=True)
+DeliveryDecision.DROP = DeliveryDecision(deliver=False)
+
+
+class FaultController:
+    """Mutable fault plan shared by every link of a cluster.
+
+    All mutators are safe to call while the cluster runs (single event
+    loop; no locking needed).  Counters record what was actually injected
+    so tests can assert the fault fired.
+    """
+
+    def __init__(self) -> None:
+        self.crashed: set[int] = set()
+        self._groups: list[frozenset[int]] = []
+        self._link_delay: dict[tuple[int, int], float] = {}
+        self._global_delay: float = 0.0
+        self.dropped_messages = 0
+        self.delayed_messages = 0
+
+    # -- plan mutation ------------------------------------------------------------
+    def crash(self, pid: int) -> None:
+        """Silence ``pid``: all its inbound and outbound traffic is dropped."""
+        self.crashed.add(pid)
+
+    def partition(self, *groups: Iterable[int]) -> None:
+        """Split the cluster: a message is delivered only if some group
+        contains both endpoints.  Replaces any previous partition."""
+        self._groups = [frozenset(g) for g in groups]
+
+    def heal(self) -> None:
+        """Remove the partition (crashes stay crashed)."""
+        self._groups = []
+
+    def delay_link(self, src: int, dst: int, seconds: float) -> None:
+        """Add ``seconds`` of latency to one directed link."""
+        self._link_delay[(src, dst)] = float(seconds)
+
+    def delay_all(self, seconds: float) -> None:
+        """Add baseline latency to every link (uniform-delay network)."""
+        self._global_delay = float(seconds)
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self._groups)
+
+    # -- the transport-facing query -------------------------------------------------
+    def decide(self, src: int, dst: int) -> DeliveryDecision:
+        """Fate of one message on ``src -> dst`` under the current plan."""
+        if src in self.crashed or dst in self.crashed:
+            self.dropped_messages += 1
+            return DeliveryDecision.DROP
+        if self._groups and not any(src in g and dst in g for g in self._groups):
+            self.dropped_messages += 1
+            return DeliveryDecision.DROP
+        delay = self._global_delay + self._link_delay.get((src, dst), 0.0)
+        if delay > 0:
+            self.delayed_messages += 1
+            return DeliveryDecision(deliver=True, delay=delay)
+        return DeliveryDecision.DELIVER

@@ -1,0 +1,283 @@
+"""Live transports: asyncio queues in-process, asyncio streams over TCP.
+
+Both implementations push every message through the
+:class:`~repro.runtime.codec.CodecRegistry` -- even the in-process one --
+so byte metrics measure real serialized payloads and a protocol that
+works on :class:`InProcTransport` is guaranteed to serialize for
+:class:`TcpTransport`.
+
+Delivery semantics match the simulator's network: reliable point-to-point
+links with arbitrary (but finite) delays, no ordering guarantee across
+links.  Fault injection (:class:`~repro.runtime.faults.FaultController`)
+is consulted at the delivery point, identically for both transports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Any, Callable, Optional
+
+from .codec import CodecRegistry, frame, read_frame_body
+from .faults import FaultController
+
+__all__ = ["Transport", "InProcTransport", "TcpTransport"]
+
+_HELLO = struct.Struct(">I")
+
+#: synchronous delivery callback: ``handler(src, message)``
+Handler = Callable[[int, Any], None]
+#: metrics hook: ``record(type_name, encoded_size)`` called once per send
+Recorder = Callable[[str, int], None]
+
+
+class Transport:
+    """Interface both transports implement, plus the shared delivery path."""
+
+    def __init__(
+        self,
+        registry: CodecRegistry,
+        *,
+        faults: Optional[FaultController] = None,
+        record: Optional[Recorder] = None,
+    ) -> None:
+        self.registry = registry
+        self.faults = faults or FaultController()
+        self._record = record
+        self._handlers: dict[int, Handler] = {}
+        self._delayed_tasks: set[asyncio.Task] = set()
+        #: messages sent but not yet resolved (delivered, dropped, or lost
+        #: to shutdown) -- lets the cluster detect true quiescence even
+        #: while messages sit in socket buffers or delay timers
+        self.in_flight = 0
+        #: first delivery-path exception (e.g. a frame that fails to
+        #: decode) -- surfaced by the cluster instead of a silent stall
+        self.failure: Optional[BaseException] = None
+
+    # -- wiring -------------------------------------------------------------------
+    def bind(self, pid: int, handler: Handler) -> None:
+        """Attach the delivery callback for node ``pid`` (before start)."""
+        if pid in self._handlers:
+            raise ValueError(f"duplicate transport binding for node {pid}")
+        self._handlers[pid] = handler
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._handlers)
+
+    # -- lifecycle ----------------------------------------------------------------
+    async def start(self) -> None:
+        raise NotImplementedError
+
+    async def stop(self) -> None:
+        for task in list(self._delayed_tasks):
+            task.cancel()
+        if self._delayed_tasks:
+            await asyncio.gather(*self._delayed_tasks, return_exceptions=True)
+        self._delayed_tasks.clear()
+
+    async def send(self, src: int, dst: int, message: Any) -> int:
+        """Serialize and ship one message; returns payload bytes sent."""
+        raise NotImplementedError
+
+    @property
+    def quiescent(self) -> bool:
+        """True when no sent message is still awaiting its fate."""
+        return self.in_flight == 0
+
+    # -- shared helpers -------------------------------------------------------------
+    def _encode_and_record(self, message: Any) -> bytes:
+        data = self.registry.encode(message)
+        if self._record is not None:
+            self._record(type(message).__name__, len(data))
+        self.in_flight += 1
+        return data
+
+    def _resolve(self) -> None:
+        self.in_flight -= 1
+
+    def _deliver(self, src: int, dst: int, data: bytes) -> None:
+        """Fault check, decode, dispatch -- the common delivery point."""
+        handler = self._handlers.get(dst)
+        decision = self.faults.decide(src, dst)
+        if handler is None or not decision.deliver:
+            self._resolve()
+            return
+        try:
+            message = self.registry.decode(data)
+        except Exception as exc:  # noqa: BLE001 -- recorded, then re-raised
+            if self.failure is None:
+                self.failure = exc
+            self._resolve()
+            raise
+        if decision.delay > 0:
+            task = asyncio.ensure_future(
+                self._deliver_later(handler, src, message, decision.delay)
+            )
+            self._delayed_tasks.add(task)
+            task.add_done_callback(self._delayed_tasks.discard)
+        else:
+            try:
+                handler(src, message)
+            finally:
+                self._resolve()
+
+    async def _deliver_later(
+        self, handler: Handler, src: int, message: Any, delay: float
+    ) -> None:
+        try:
+            await asyncio.sleep(delay)
+            handler(src, message)
+        finally:
+            self._resolve()
+
+
+class InProcTransport(Transport):
+    """All nodes on one event loop, linked by per-destination queues.
+
+    The fast deterministic backend: no sockets, no syscalls, FIFO per
+    destination.  Messages still round-trip the codec, so byte counts and
+    serialization failures are identical to TCP.
+    """
+
+    def __init__(
+        self,
+        registry: CodecRegistry,
+        *,
+        faults: Optional[FaultController] = None,
+        record: Optional[Recorder] = None,
+    ) -> None:
+        super().__init__(registry, faults=faults, record=record)
+        self._queues: dict[int, asyncio.Queue] = {}
+        self._pumps: list[asyncio.Task] = []
+
+    async def start(self) -> None:
+        for pid in self.node_ids:
+            self._queues[pid] = asyncio.Queue()
+            self._pumps.append(asyncio.ensure_future(self._pump(pid)))
+
+    async def stop(self) -> None:
+        for task in self._pumps:
+            task.cancel()
+        if self._pumps:
+            await asyncio.gather(*self._pumps, return_exceptions=True)
+        self._pumps.clear()
+        self._queues.clear()
+        await super().stop()
+
+    async def send(self, src: int, dst: int, message: Any) -> int:
+        queue = self._queues.get(dst)
+        if queue is None:
+            raise KeyError(f"unknown destination {dst}")
+        data = self._encode_and_record(message)
+        queue.put_nowait((src, data))
+        return len(data)
+
+    async def _pump(self, pid: int) -> None:
+        queue = self._queues[pid]
+        while True:
+            src, data = await queue.get()
+            self._deliver(src, pid, data)
+
+
+class TcpTransport(Transport):
+    """One TCP listener per node; lazily-dialed full mesh of streams.
+
+    Frames are length-prefixed codec payloads; each outbound connection
+    starts with a 4-byte hello carrying the dialer's node id, after which
+    the link is identified and frames need no per-message source field.
+    Ports are ephemeral (bound to ``host`` with port 0) and discoverable
+    through :meth:`address` -- the cluster orchestrator shares them.
+    """
+
+    def __init__(
+        self,
+        registry: CodecRegistry,
+        *,
+        faults: Optional[FaultController] = None,
+        record: Optional[Recorder] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        super().__init__(registry, faults=faults, record=record)
+        self.host = host
+        self._servers: dict[int, asyncio.AbstractServer] = {}
+        self._ports: dict[int, int] = {}
+        self._writers: dict[tuple[int, int], asyncio.StreamWriter] = {}
+        self._reader_tasks: set[asyncio.Task] = set()
+
+    def address(self, pid: int) -> tuple[str, int]:
+        """The listening ``(host, port)`` of node ``pid`` (after start)."""
+        return (self.host, self._ports[pid])
+
+    async def start(self) -> None:
+        for pid in self.node_ids:
+            server = await asyncio.start_server(
+                lambda r, w, dst=pid: self._accept(dst, r, w), self.host, 0
+            )
+            self._servers[pid] = server
+            self._ports[pid] = server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        for writer in self._writers.values():
+            writer.close()
+        for writer in list(self._writers.values()):
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._writers.clear()
+        for task in list(self._reader_tasks):
+            task.cancel()
+        if self._reader_tasks:
+            await asyncio.gather(*self._reader_tasks, return_exceptions=True)
+        self._reader_tasks.clear()
+        for server in self._servers.values():
+            server.close()
+        for server in self._servers.values():
+            await server.wait_closed()
+        self._servers.clear()
+        self._ports.clear()
+        await super().stop()
+
+    # -- outbound -----------------------------------------------------------------
+    async def send(self, src: int, dst: int, message: Any) -> int:
+        if dst not in self._ports:
+            raise KeyError(f"unknown destination {dst}")
+        data = self._encode_and_record(message)
+        writer = await self._writer_for(src, dst)
+        writer.write(frame(data))
+        await writer.drain()
+        return len(data)
+
+    async def _writer_for(self, src: int, dst: int) -> asyncio.StreamWriter:
+        key = (src, dst)
+        writer = self._writers.get(key)
+        if writer is None or writer.is_closing():
+            host, port = self.address(dst)
+            _, writer = await asyncio.open_connection(host, port)
+            writer.write(_HELLO.pack(src))
+            await writer.drain()
+            self._writers[key] = writer
+        return writer
+
+    # -- inbound ------------------------------------------------------------------
+    def _accept(
+        self, dst: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.ensure_future(self._read_loop(dst, reader, writer))
+        self._reader_tasks.add(task)
+        task.add_done_callback(self._reader_tasks.discard)
+
+    async def _read_loop(
+        self, dst: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            hello = await reader.readexactly(_HELLO.size)
+            (src,) = _HELLO.unpack(hello)
+            while True:
+                data = await read_frame_body(reader)
+                self._deliver(src, dst, data)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass  # peer hung up; the cluster is stopping or the node crashed
+        finally:
+            writer.close()

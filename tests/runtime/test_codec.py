@@ -1,0 +1,168 @@
+"""Codec round-trips for every registered protocol message type."""
+
+import dataclasses
+
+import pytest
+
+from repro.codes.reed_solomon import Fragment
+from repro.crypto.dleq import DleqProof
+from repro.crypto.threshold_sig import SignatureShare
+from repro.protocols.avid import (
+    AvidDisperse,
+    AvidEcho,
+    AvidFragments,
+    AvidRetrieveRequest,
+)
+from repro.protocols.checkpointing import CheckpointShare, CheckpointVote
+from repro.protocols.common_coin import CoinShareMsg
+from repro.protocols.ec_broadcast import EcFragment, EcRequest
+from repro.protocols.reliable_broadcast import RbcEcho, RbcReady, RbcSend
+from repro.protocols.smr import BatchEcho, BatchReady, BatchSend
+from repro.protocols.vaba import Commit, Decide, Proposal, Vote, Vouch
+from repro.runtime.codec import CodecError, CodecRegistry, FrameAssembler, default_registry
+
+_PROOF = DleqProof(challenge=2**255 - 19, response=123456789)
+_SHARE = SignatureShare(index=3, value=2**200 + 7, proof=_PROOF)
+
+#: one representative instance of every type default_registry() knows
+SAMPLES = [
+    Fragment(index=5, value=1023),
+    _PROOF,
+    _SHARE,
+    RbcSend(payload=b"hello world"),
+    RbcEcho(payload=b""),
+    RbcReady(payload=bytes(range(256))),
+    BatchSend(epoch=0, proposer=6, payload=b"batch-0"),
+    BatchEcho(epoch=3, proposer=0, payload=b"x" * 1000),
+    BatchReady(epoch=2**40, proposer=1, payload=b"big epoch"),
+    AvidDisperse(
+        fragments=(Fragment(0, 7), Fragment(1, 9)),
+        hash_list=(b"\x00" * 32, b"\xff" * 32),
+        commitment=b"\xab" * 32,
+        data_shards=2,
+        total_shards=4,
+    ),
+    AvidEcho(commitment=b"\x01" * 32),
+    AvidRetrieveRequest(commitment=b"\x02" * 32),
+    AvidFragments(commitment=b"\x03" * 32, fragments=(Fragment(2, 4),)),
+    CoinShareMsg(epoch=9, share=_SHARE),
+    CheckpointVote(checkpoint=b"cp-hash"),
+    CheckpointShare(checkpoint=b"cp-hash", share=_SHARE),
+    EcRequest(),
+    EcFragment(fragment=Fragment(11, 13)),
+    Proposal(round=1, value=b"p"),
+    Vote(round=2, value=b"v"),
+    Commit(value=b"c"),
+    Decide(value=b"d"),
+    Vouch(value=b"w"),
+]
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("message", SAMPLES, ids=lambda m: type(m).__name__)
+    def test_message_round_trip(self, registry, message):
+        data = registry.encode(message)
+        assert registry.decode(data) == message
+        assert registry.encoded_size(message) == len(data)
+
+    @pytest.mark.parametrize("message", SAMPLES, ids=lambda m: type(m).__name__)
+    def test_frame_round_trip(self, registry, message):
+        assert registry.decode_frame(registry.encode_frame(message)) == message
+
+    def test_samples_cover_every_registered_type(self, registry):
+        sampled = {type(m) for m in SAMPLES}
+        registered = set(registry.registered_types())
+        missing = {c.__name__ for c in registered - sampled}
+        assert not missing, f"add codec samples for: {sorted(missing)}"
+
+    def test_negative_and_huge_ints(self, registry):
+        reg = CodecRegistry()
+
+        @dataclasses.dataclass(frozen=True)
+        class Probe:
+            a: int
+            b: int
+
+        reg.register(Probe)
+        probe = Probe(a=-(2**300), b=0)
+        assert reg.decode(reg.encode(probe)) == probe
+
+
+class TestFrameAssembler:
+    def test_byte_at_a_time_reassembly(self, registry):
+        stream = b"".join(registry.encode_frame(m) for m in SAMPLES)
+        assembler = FrameAssembler(registry)
+        out = []
+        for i in range(len(stream)):
+            out.extend(assembler.feed(stream[i : i + 1]))
+        assert out == SAMPLES
+        assert assembler.pending_bytes == 0
+
+    def test_partial_frame_stays_pending(self, registry):
+        frame = registry.encode_frame(SAMPLES[0])
+        assembler = FrameAssembler(registry)
+        assert list(assembler.feed(frame[:-1])) == []
+        assert assembler.pending_bytes == len(frame) - 1
+        assert list(assembler.feed(frame[-1:])) == [SAMPLES[0]]
+
+
+class TestErrors:
+    def test_unregistered_type_rejected(self, registry):
+        @dataclasses.dataclass(frozen=True)
+        class Rogue:
+            x: int
+
+        with pytest.raises(CodecError, match="unregistered"):
+            registry.encode(Rogue(x=1))
+
+    def test_unknown_tag_rejected(self, registry):
+        other = CodecRegistry()
+
+        @dataclasses.dataclass(frozen=True)
+        class Alien:
+            x: int
+
+        other.register(Alien)
+        with pytest.raises(CodecError, match="unknown message tag"):
+            registry.decode(other.encode(Alien(x=1)))
+
+    def test_trailing_garbage_rejected(self, registry):
+        data = registry.encode(SAMPLES[0])
+        with pytest.raises(CodecError, match="trailing"):
+            registry.decode(data + b"\x00")
+
+    def test_duplicate_tag_rejected(self):
+        reg = CodecRegistry()
+
+        @dataclasses.dataclass(frozen=True)
+        class One:
+            x: int
+
+        reg.register(One, tag="t")
+        with pytest.raises(CodecError, match="already bound"):
+
+            @dataclasses.dataclass(frozen=True)
+            class Two:
+                x: int
+
+            reg.register(Two, tag="t")
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(CodecError, match="not a dataclass"):
+            CodecRegistry().register(int)
+
+    def test_unencodable_value_rejected(self, registry):
+        reg = CodecRegistry()
+
+        @dataclasses.dataclass(frozen=True)
+        class Holder:
+            x: object
+
+        reg.register(Holder)
+        with pytest.raises(CodecError, match="cannot encode"):
+            reg.encode(Holder(x=3.14))

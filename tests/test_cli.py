@@ -1,5 +1,7 @@
 """Tests for the CLI mirroring the paper's prototype interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -79,3 +81,114 @@ class TestMain:
             ["wr", "--alpha-w", "1/3", "--alpha-n", "1/2", "--weights", "1/2", "0.25", "3"]
         )
         assert code == 0
+
+
+class TestJsonOutput:
+    def test_wr_json(self, capsys):
+        code = main(
+            [
+                "wr", "--alpha-w", "1/3", "--alpha-n", "1/2",
+                "--weights", "40", "25", "15", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problem"] == "wr"
+        assert payload["parties"] == 3
+        assert payload["total_tickets"] >= 1
+        assert "tickets" not in payload
+
+    def test_ws_json_full_output(self, capsys):
+        code = main(
+            [
+                "ws", "--alpha", "1/3", "--beta", "1/2",
+                "--weights", "4", "3", "2", "1", "--json", "--full-output",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["tickets"]) == 4
+
+    def test_bound_serialization(self):
+        from fractions import Fraction
+
+        from repro.cli import _bound_as_json
+
+        assert _bound_as_json(6) == 6
+        assert _bound_as_json(Fraction(4, 1)) == 4
+        assert _bound_as_json(Fraction(7, 2)) == "7/2"
+
+    def test_json_error_still_exit_2(self, capsys):
+        code = main(
+            ["wq", "--beta-w", "1/3", "--beta-n", "2/3", "--weights", "bogus", "--json"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestClusterCommand:
+    def test_rbc_inproc_weighted(self, capsys):
+        code = main(
+            [
+                "cluster", "rbc",
+                "--weights", "40", "25", "15", "10", "5", "3", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rbc (weighted quorums)" in out
+        assert "messages" in out
+
+    def test_smr_inproc_json(self, capsys):
+        code = main(["cluster", "smr", "--n", "4", "--epochs", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["protocol"] == "smr"
+        assert payload["layout"] == "nominal"
+        assert payload["metrics"]["messages"] > 0
+        assert payload["metrics"]["bytes"] > 0
+        assert payload["metrics"]["elapsed_seconds"] > 0
+
+    def test_rbc_with_crash(self, capsys):
+        code = main(
+            [
+                "cluster", "rbc", "--weights", "40", "25", "15", "10", "5", "3", "1",
+                "--crash", "6", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["crashed"] == [6]
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["cluster", "rbc", "--n", "3"],  # nominal needs n >= 4
+            ["cluster", "rbc"],  # no size and no weights
+            ["cluster", "rbc", "--n", "5", "--weights", "1", "2"],  # mismatch
+            ["cluster", "smr", "--n", "4", "--epochs", "0"],
+            ["cluster", "rbc", "--n", "4", "--payload-size", "0"],
+            ["cluster", "rbc", "--n", "4", "--crash", "9"],
+            ["cluster", "rbc", "--n", "4", "--crash", "0", "1", "2", "3"],
+            ["cluster", "smr", "--n", "4", "--f-w", "2/3"],
+            ["cluster", "rbc", "--n", "4", "--f-w", "1/0"],
+            ["cluster", "rbc", "--weights", "40", "25", "15", "10", "--crash", "0"],
+            ["cluster", "rbc", "--n", "7", "--crash", "0", "1", "2"],
+        ],
+        ids=[
+            "small-n", "no-size", "n-mismatch", "zero-epochs",
+            "zero-payload", "bad-crash", "all-crashed", "bad-f-w",
+            "zero-denominator", "crash-beyond-weight-budget", "crash-beyond-t",
+        ],
+    )
+    def test_invalid_combinations_exit_2(self, argv, capsys):
+        assert main(argv) == 2
+        assert "error" in capsys.readouterr().err
+
+    @pytest.mark.tcp
+    def test_rbc_tcp_json(self, capsys):
+        code = main(["cluster", "rbc", "--n", "4", "--transport", "tcp", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["transport"] == "tcp"
+        assert payload["metrics"]["messages"] == 4 + 16 + 16

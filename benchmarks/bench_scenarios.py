@@ -1,0 +1,80 @@
+"""Benchmark -- the scenario registry swept across execution backends.
+
+Every built-in scenario runs on the discrete-event simulator; the
+cross-backend subset (``INPROC_SCENARIOS``) additionally runs on the
+live in-process runtime.  The table compares message/byte totals and
+latency (virtual seconds for the sim, wall-clock for the runtime), and
+asserts the cross-backend contract: decided values agree, and message
+counts agree for the protocols whose drivers mark them comparable.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_scenarios.py -q -s
+"""
+
+from repro.analysis.report import write_csv_rows
+from repro.scenarios import INPROC_SCENARIOS, SCENARIOS, get_scenario, run_scenario
+
+HEADER = [
+    "scenario", "protocol", "backend", "nodes", "completed",
+    "messages", "bytes", "dropped", "delayed", "latency_seconds",
+]
+
+
+def _row(result):
+    latency = result.sim_time if result.backend == "sim" else result.wall_seconds
+    return [
+        result.spec.name,
+        result.spec.protocol,
+        result.backend,
+        result.n_nodes,
+        result.completed,
+        result.messages,
+        result.bytes,
+        result.dropped_messages,
+        result.delayed_messages,
+        f"{latency:.6f}",
+    ]
+
+
+def test_registry_sweep_sim(benchmark):
+    """Whole registry on the simulator; wall time of the full sweep."""
+
+    def sweep():
+        return [run_scenario(spec, backend="sim") for spec in SCENARIOS.values()]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [_row(r) for r in results]
+    print(f"\n{'scenario':<20} {'proto':<10} {'msgs':>6} {'bytes':>9} {'virtual s':>10}")
+    for r in results:
+        print(
+            f"{r.spec.name:<20} {r.spec.protocol:<10} {r.messages:>6} "
+            f"{r.bytes:>9} {r.sim_time:>10.3f}"
+        )
+    assert all(r.completed for r in results)
+    write_csv_rows("scenario_sweep_sim.csv", HEADER, rows)
+
+
+def test_cross_backend_agreement(benchmark):
+    """Sim vs live inproc on the cross-backend subset."""
+    pairs = []
+
+    def sweep():
+        out = []
+        for name in INPROC_SCENARIOS:
+            spec = get_scenario(name)
+            out.append((run_scenario(spec, backend="sim"),
+                        run_scenario(spec, backend="inproc")))
+        return out
+
+    pairs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    print(f"\n{'scenario':<20} {'sim msgs':>8} {'live msgs':>9} {'sim s':>8} {'live s':>8}")
+    for sim, live in pairs:
+        rows.extend([_row(sim), _row(live)])
+        print(
+            f"{sim.spec.name:<20} {sim.messages:>8} {live.messages:>9} "
+            f"{sim.sim_time:>8.3f} {live.wall_seconds:>8.3f}"
+        )
+        assert sim.decided == live.decided, sim.spec.name
+        if sim.count_comparable:
+            assert dict(sim.by_type) == dict(live.by_type), sim.spec.name
+    write_csv_rows("scenario_sweep_backends.csv", HEADER, rows)

@@ -7,8 +7,10 @@ applications rely on (:mod:`repro.crypto`, :mod:`repro.codes`), an
 asynchronous network simulator with Byzantine adversaries
 (:mod:`repro.sim`), the nominal distributed protocols and their weighted
 transformations (:mod:`repro.protocols`, :mod:`repro.weighted`), calibrated
-weight-distribution datasets (:mod:`repro.datasets`), and the experiment
-harness regenerating every table and figure (:mod:`repro.analysis`).
+weight-distribution datasets (:mod:`repro.datasets`), the experiment
+harness regenerating every table and figure (:mod:`repro.analysis`), and
+a declarative scenario engine running one spec on the simulator or the
+live asyncio runtime (:mod:`repro.scenarios`, :mod:`repro.runtime`).
 
 Quickstart::
 

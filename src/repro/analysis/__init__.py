@@ -4,7 +4,7 @@ and artifact writers (paper, Section 7 and Appendix C)."""
 from .ascii_plot import heatmap, line_chart
 from .figures import FigureData, build_figure, figure_csv, render_figure
 from .metrics import ScalingPoint, SweepPoint, TicketMetrics
-from .report import results_dir, write_csv_rows, write_text
+from .report import results_dir, write_csv_rows, write_json, write_text
 from .sweep import (
     DEFAULT_ALPHA_NS,
     DEFAULT_RATIOS,
@@ -41,4 +41,5 @@ __all__ = [
     "results_dir",
     "write_text",
     "write_csv_rows",
+    "write_json",
 ]

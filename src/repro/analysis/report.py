@@ -1,12 +1,13 @@
-"""Artifact writers: results land in ``results/`` as CSV and text."""
+"""Artifact writers: results land in ``results/`` as CSV, JSON, and text."""
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Sequence
 
-__all__ = ["results_dir", "write_text", "write_csv_rows"]
+__all__ = ["results_dir", "write_text", "write_csv_rows", "write_json"]
 
 
 def results_dir(base: str | os.PathLike | None = None) -> Path:
@@ -29,6 +30,17 @@ def write_text(name: str, content: str, *, base=None) -> Path:
     path = results_dir(base) / name
     path.write_text(content)
     return path
+
+
+def write_json(name: str, payload, *, base=None) -> Path:
+    """Write a canonical JSON artifact (sorted keys) and return the path.
+
+    Scenario records and benchmark summaries use this; sorted keys keep
+    artifacts diffable run-to-run.
+    """
+    return write_text(
+        name, json.dumps(payload, sort_keys=True, indent=2) + "\n", base=base
+    )
 
 
 def write_csv_rows(

@@ -9,6 +9,8 @@ runner::
     python -m repro.cli ws --alpha 1/3 --beta 1/2 --chain tezos --linear
     python -m repro.cli cluster rbc --n 7 --transport tcp --weights-file stake.txt
     python -m repro.cli cluster smr --n 7 --epochs 2 --json
+    python -m repro.cli scenario --list
+    python -m repro.cli scenario zipf-stake-smr --backend inproc --json
 
 Weights come from ``--weights`` (inline), ``--weights-file`` (one number
 per line), or ``--chain`` (a calibrated snapshot).  Output is the ticket
@@ -130,6 +132,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--crash", type=int, nargs="*", default=[], help="node ids to crash at start"
     )
     cluster.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run a named declarative scenario on a chosen backend",
+        description=(
+            "Execute a built-in scenario (repro.scenarios) on the "
+            "discrete-event simulator or the live runtime and print its "
+            "unified metrics record.  --list enumerates the registry."
+        ),
+    )
+    scenario.add_argument(
+        "name", nargs="?", default=None, help="scenario name (see --list)"
+    )
+    scenario.add_argument(
+        "--list", action="store_true", help="list built-in scenarios and exit"
+    )
+    scenario.add_argument(
+        "--backend",
+        choices=["sim", "inproc", "tcp"],
+        default="sim",
+        help="execution backend (default: sim)",
+    )
+    scenario.add_argument(
+        "--seed", type=int, default=None, help="override the scenario's seed"
+    )
+    scenario.add_argument(
+        "--timeout", type=float, default=60.0, help="runtime-backend timeout (s)"
+    )
+    scenario.add_argument(
+        "--save", action="store_true", help="also write the record to results/"
+    )
+    scenario.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
     )
 
@@ -359,11 +395,82 @@ def _run_cluster_command(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- scenario subcommand -----------------------------------------------------------
+
+
+def _run_scenario_command(args: argparse.Namespace) -> int:
+    from .scenarios import SCENARIOS, get_scenario, run_scenario, scenario_names
+
+    if args.list:
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "scenarios": [
+                            {
+                                "name": spec.name,
+                                "protocol": spec.protocol,
+                                "description": spec.description,
+                            }
+                            for spec in SCENARIOS.values()
+                        ]
+                    }
+                )
+            )
+            return 0
+        print(f"{'name':<20} {'protocol':<10} description")
+        for spec in SCENARIOS.values():
+            print(f"{spec.name:<20} {spec.protocol:<10} {spec.description}")
+        return 0
+
+    if args.name is None:
+        print("error: need a scenario name (or --list)", file=sys.stderr)
+        return 2
+    try:
+        spec = get_scenario(args.name)
+        if args.seed is not None:
+            spec = spec.with_seed(args.seed)
+        result = run_scenario(spec, backend=args.backend, timeout=args.timeout)
+    except (KeyError, ValueError, TimeoutError, OSError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    if args.save:
+        result.write()
+    if args.json:
+        print(result.record_json())
+        return 0
+
+    rec = result.record()
+    print(f"scenario        : {rec['scenario']} ({spec.description})")
+    print(f"protocol        : {rec['protocol']}")
+    print(f"backend         : {rec['backend']}")
+    print(f"parties         : {rec['n_real']} real / {rec['n_nodes']} nodes")
+    print(f"completed       : {rec['completed']}")
+    print(f"distinct decided: {len(set(rec['decided'].values()))}")
+    print(f"messages        : {rec['messages']}")
+    print(f"payload bytes   : {rec['bytes']}")
+    print(f"dropped/delayed : {rec['dropped_messages']}/{rec['delayed_messages']}")
+    if result.backend == "sim":
+        print(f"sim time        : {rec['sim_time']:.3f} (virtual s, {rec['sim_events']} events)")
+    else:
+        print(f"wall clock      : {rec['wall_seconds'] * 1000:.1f} ms")
+    for type_name in sorted(rec["by_type"]):
+        print(
+            f"  {type_name:<14}: {rec['by_type'][type_name]} msgs / "
+            f"{rec['bytes_by_type'][type_name]} B"
+        )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.problem == "cluster":
         return _run_cluster_command(args)
+    if args.problem == "scenario":
+        return _run_scenario_command(args)
     return _run_solver_command(args)
 
 

@@ -1,0 +1,28 @@
+"""Declarative scenario engine: one spec, every execution backend.
+
+``ScenarioSpec`` describes a workload (protocol, weights, faults,
+network, payloads, seed); :func:`run_scenario` executes it on the
+discrete-event simulator or the live asyncio runtime and returns a
+unified metrics record; :data:`SCENARIOS` is the registry of built-in
+named scenarios the CLI and CI sweep.
+"""
+
+from .harness import BACKENDS, RunContext, ScenarioResult, run_scenario
+from .registry import INPROC_SCENARIOS, SCENARIOS, get_scenario, scenario_names
+from .spec import FaultSpec, NetSpec, ScenarioSpec, WeightSpec, WorkloadSpec
+
+__all__ = [
+    "ScenarioSpec",
+    "WeightSpec",
+    "FaultSpec",
+    "NetSpec",
+    "WorkloadSpec",
+    "ScenarioResult",
+    "RunContext",
+    "run_scenario",
+    "BACKENDS",
+    "SCENARIOS",
+    "INPROC_SCENARIOS",
+    "get_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,588 @@
+"""One harness, every backend: execute a :class:`ScenarioSpec` on the
+discrete-event simulator or the live asyncio runtime.
+
+The harness translates a declarative spec into the pieces an execution
+backend needs -- a party factory, workload entry points, a completion
+predicate, and a fault plan -- via per-protocol *drivers*.  Both backends
+share one :class:`~repro.runtime.faults.FaultController` implementation
+(the sim consults it at its delivery point, see
+:mod:`repro.sim.network`), so a fault plan means the same thing on both.
+
+The result is a unified, JSON-able metrics record.  On the sim backend
+the record is fully deterministic for a fixed seed -- byte-identical
+across runs -- which the determinism regression test pins down.  Across
+backends, the *decided values* must agree for fault-free scenarios, and
+message counts additionally agree for protocols that send each phase
+message exactly once (RBC, SMR, checkpointing); VABA's round advancement
+is timing-dependent, so its counts are reported but not comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..runtime.faults import FaultController
+from ..sim.process import Party
+from .spec import ScenarioSpec
+
+__all__ = ["ScenarioResult", "RunContext", "run_scenario", "BACKENDS"]
+
+#: execution backends ``run_scenario`` accepts
+BACKENDS = ("sim", "inproc", "tcp")
+
+
+def _digest(data: bytes) -> str:
+    """Short stable fingerprint of a decided value."""
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+def _payload(spec: ScenarioSpec, pid: int, epoch: int) -> bytes:
+    """Deterministic per-(party, epoch) workload payload."""
+    seed = f"{spec.name}|{spec.seed}|{epoch}|{pid}".encode()
+    block = hashlib.sha256(seed).digest()
+    reps = (spec.workload.payload_size + len(block) - 1) // len(block)
+    return (block * reps)[: spec.workload.payload_size]
+
+
+@dataclass
+class RunContext:
+    """What a driver sees of the running backend: the parties, the set of
+    live node ids, and a scenario-time scheduler (sim: virtual seconds via
+    the simulator; runtime: wall seconds via ``loop.call_later``)."""
+
+    parties: Sequence[Party]
+    live_nodes: tuple[int, ...]
+    schedule: Callable[[float, Callable[[], None]], None]
+
+    def party(self, nid: int) -> Party:
+        return self.parties[nid]
+
+    def at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at scenario time ``when`` (immediately when 0)."""
+        if when <= 0:
+            fn()
+        else:
+            self.schedule(when, fn)
+
+
+# -- protocol drivers ------------------------------------------------------------------
+
+
+class ProtocolDriver:
+    """Backend-independent execution recipe for one protocol.
+
+    ``map_pid`` translates a *real* party id from the fault plan into the
+    node ids hosting it -- identity except for the black-box VABA driver,
+    whose nodes are virtual users.
+    """
+
+    #: message counts match across backends (phase messages sent exactly once)
+    count_comparable = True
+
+    def __init__(self, spec: ScenarioSpec, weights: Sequence[int]) -> None:
+        self.spec = spec
+        self.weights = list(weights)
+        self.live_real = tuple(
+            pid for pid in range(len(self.weights)) if pid not in spec.faults.crashes
+        )
+        if not self.live_real:
+            raise ValueError("fault plan crashes every party; nothing left to run")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.weights)
+
+    def map_pid(self, pid: int) -> Sequence[int]:
+        return (pid,)
+
+    def factory(self, nid: int) -> Party:
+        raise NotImplementedError
+
+    def start(self, ctx: RunContext) -> None:
+        raise NotImplementedError
+
+    def done(self, ctx: RunContext) -> bool:
+        raise NotImplementedError
+
+    def outputs(self, ctx: RunContext) -> dict[str, str]:
+        """Canonical decided values per live party (digest strings)."""
+        raise NotImplementedError
+
+
+class RbcDriver(ProtocolDriver):
+    """Weighted Bracha reliable broadcast; the lowest live party sends."""
+
+    def __init__(self, spec: ScenarioSpec, weights: Sequence[int]) -> None:
+        super().__init__(spec, weights)
+        from ..weighted.quorum import WeightedQuorums
+
+        self.quorums = WeightedQuorums(self.weights, spec.f_w)
+        self.sender = min(self.live_real)
+        self.payload = _payload(spec, self.sender, 0)
+
+    def factory(self, nid: int) -> Party:
+        from ..protocols.reliable_broadcast import BroadcastParty
+
+        return BroadcastParty(nid, self.quorums)
+
+    def start(self, ctx: RunContext) -> None:
+        ctx.at(
+            self.spec.workload.start_time(0),
+            lambda: ctx.party(self.sender).broadcast_value(self.payload),
+        )
+
+    def done(self, ctx: RunContext) -> bool:
+        return all(
+            ctx.party(nid).delivered == self.payload for nid in ctx.live_nodes
+        )
+
+    def outputs(self, ctx: RunContext) -> dict[str, str]:
+        return {
+            str(nid): _digest(ctx.party(nid).delivered or b"")
+            for nid in ctx.live_nodes
+        }
+
+
+class SmrDriver(ProtocolDriver):
+    """Composed SMR: every live party proposes a batch per epoch.
+
+    Epochs started while a partition is active are best-effort (the
+    cross-partition RBC instances lose messages and cannot commit
+    everywhere); completion requires full logs only for epochs started at
+    or after ``heal_at``.
+    """
+
+    def __init__(self, spec: ScenarioSpec, weights: Sequence[int]) -> None:
+        super().__init__(spec, weights)
+        from ..protocols.common_coin import deterministic_coin
+        from ..weighted.quorum import WeightedQuorums
+
+        self.quorums = WeightedQuorums(self.weights, spec.f_w)
+        self.coin = deterministic_coin(f"{spec.name}|{spec.seed}")
+        # Reject specs with nothing to certify: a vacuously-true done()
+        # would report a successful run in which no epoch committed.
+        if not self._required_epochs():
+            raise ValueError(
+                "no SMR epoch can commit everywhere under this fault plan: "
+                "a partition needs heal_at and at least one epoch starting "
+                "at or after it"
+            )
+
+    def factory(self, nid: int) -> Party:
+        from ..protocols.smr import SmrParty
+
+        return SmrParty(nid, self.n_nodes, self.quorums, self.coin)
+
+    def _required_epochs(self) -> list[int]:
+        epochs = range(self.spec.workload.epochs)
+        if not self.spec.faults.partition:
+            return list(epochs)
+        heal = self.spec.faults.heal_at
+        if heal is None:
+            return []  # never heals: no epoch can commit everywhere
+        return [e for e in epochs if self.spec.workload.start_time(e) >= heal]
+
+    def start(self, ctx: RunContext) -> None:
+        for epoch in range(self.spec.workload.epochs):
+
+            def fire(e: int = epoch) -> None:
+                for nid in ctx.live_nodes:
+                    ctx.party(nid).propose_batch(e, _payload(self.spec, nid, e))
+
+            ctx.at(self.spec.workload.start_time(epoch), fire)
+
+    def done(self, ctx: RunContext) -> bool:
+        want = len(ctx.live_nodes)
+        return all(
+            len(ctx.party(nid).ordered_log(e)) == want
+            for nid in ctx.live_nodes
+            for e in self._required_epochs()
+        )
+
+    def outputs(self, ctx: RunContext) -> dict[str, str]:
+        out = {}
+        for nid in ctx.live_nodes:
+            h = hashlib.sha256()
+            for e in self._required_epochs():
+                for proposer, payload in ctx.party(nid).ordered_log(e):
+                    h.update(f"{e}|{proposer}|".encode())
+                    h.update(payload)
+            out[str(nid)] = h.hexdigest()[:16]
+        return out
+
+
+class VabaDriver(ProtocolDriver):
+    """Black-box weighted VABA: nodes are *virtual users* of a WR(f_n -
+    eps, f_n) solution; real party ``i`` drives ``vmap.virtual_ids(i)``
+    (paper, Section 4.4).  Message counts are timing-dependent (round
+    advancement races the decision), so they are not cross-backend
+    comparable -- decided values are.
+    """
+
+    count_comparable = False
+
+    def __init__(self, spec: ScenarioSpec, weights: Sequence[int]) -> None:
+        super().__init__(spec, weights)
+        from ..protocols.vaba import WeightedVabaRunner
+        from ..weighted.transform import black_box_setup
+
+        f_n = str(spec.param("f_n", "1/3"))
+        epsilon = str(spec.param("epsilon", "1/12"))
+        self.setup = black_box_setup(self.weights, f_n, epsilon)
+        self.runner = WeightedVabaRunner(
+            self.setup.vmap, self.weights, self.setup.f_w, coin_seed=spec.seed
+        )
+        self._parties = self.runner.build_parties(f_n, on_decide=lambda vid, v: None)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.setup.vmap.total_virtual
+
+    def map_pid(self, pid: int) -> Sequence[int]:
+        return tuple(self.setup.vmap.virtual_ids(pid))
+
+    def factory(self, nid: int) -> Party:
+        return self._parties[nid]
+
+    def start(self, ctx: RunContext) -> None:
+        def fire() -> None:
+            for real in self.live_real:
+                value = _payload(self.spec, real, 0)
+                for vid in self.map_pid(real):
+                    ctx.party(vid).propose(value)
+
+        ctx.at(self.spec.workload.start_time(0), fire)
+
+    def done(self, ctx: RunContext) -> bool:
+        return all(ctx.party(nid).decided is not None for nid in ctx.live_nodes)
+
+    def outputs(self, ctx: RunContext) -> dict[str, str]:
+        virtual_outputs = {
+            p.pid: p.decided for p in self._parties if p.decided is not None
+        }
+        real = self.runner.real_output(virtual_outputs)
+        return {
+            str(pid): _digest(value)
+            for pid, value in sorted(real.items())
+            if pid in self.live_real
+        }
+
+
+class CheckpointDriver(ProtocolDriver):
+    """Threshold-signed checkpoints over a blunt WR(f_w, 1/2) setup; one
+    checkpoint per workload epoch, ``mode`` / ``beta`` via params."""
+
+    def __init__(self, spec: ScenarioSpec, weights: Sequence[int]) -> None:
+        super().__init__(spec, weights)
+        from ..crypto.group import TEST_GROUP_256
+        from ..crypto.threshold_sig import ThresholdSignatureScheme
+        from ..weighted.transform import blunt_setup
+
+        self.mode = str(spec.param("mode", "blunt"))
+        self.beta = str(spec.param("beta", "1/2"))
+        self.setup = blunt_setup(self.weights, spec.f_w, "1/2")
+        self.scheme = ThresholdSignatureScheme(
+            TEST_GROUP_256, self.setup.total_virtual, self.setup.threshold
+        )
+        self.scheme.keygen(random.Random(spec.seed))
+        self.checkpoints = [
+            _payload(spec, 0, epoch) for epoch in range(spec.workload.epochs)
+        ]
+
+    def factory(self, nid: int) -> Party:
+        from ..protocols.checkpointing import CheckpointParty
+
+        return CheckpointParty(
+            nid,
+            self.scheme,
+            self.setup.vmap,
+            random.Random(f"{self.spec.seed}|{nid}"),
+            mode=self.mode,
+            weights=self.weights if self.mode == "tight" else None,
+            beta=self.beta if self.mode == "tight" else None,
+        )
+
+    def start(self, ctx: RunContext) -> None:
+        for epoch, checkpoint in enumerate(self.checkpoints):
+
+            def fire(cp: bytes = checkpoint) -> None:
+                for nid in ctx.live_nodes:
+                    ctx.party(nid).sign_checkpoint(cp)
+
+            ctx.at(self.spec.workload.start_time(epoch), fire)
+
+    def done(self, ctx: RunContext) -> bool:
+        return all(
+            cp in ctx.party(nid).certificates
+            for nid in ctx.live_nodes
+            for cp in self.checkpoints
+        )
+
+    def outputs(self, ctx: RunContext) -> dict[str, str]:
+        out = {}
+        for nid in ctx.live_nodes:
+            certs = ctx.party(nid).certificates
+            blob = "|".join(str(certs.get(cp, "")) for cp in self.checkpoints)
+            out[str(nid)] = _digest(blob.encode())
+        return out
+
+
+_DRIVERS: dict[str, type[ProtocolDriver]] = {
+    "rbc": RbcDriver,
+    "smr": SmrDriver,
+    "vaba": VabaDriver,
+    "checkpoint": CheckpointDriver,
+}
+
+
+# -- results ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScenarioResult:
+    """The unified metrics record of one scenario execution."""
+
+    spec: ScenarioSpec
+    backend: str
+    n_real: int
+    n_nodes: int
+    weights_digest: str
+    completed: bool
+    decided: dict[str, str]
+    count_comparable: bool
+    messages: int
+    bytes: int
+    by_type: dict[str, int]
+    bytes_by_type: dict[str, int]
+    dropped_messages: int
+    delayed_messages: int
+    #: sim backend only: virtual completion time and event count
+    sim_time: Optional[float] = None
+    sim_events: Optional[int] = None
+    #: runtime backends only: wall-clock duration (nondeterministic)
+    wall_seconds: Optional[float] = None
+
+    def record(self) -> dict:
+        """JSON-able snapshot.  On the sim backend every field is a pure
+        function of the spec, so the record is byte-identical across runs
+        (the determinism regression test relies on this); wall-clock only
+        appears for runtime backends."""
+        rec = {
+            "scenario": self.spec.name,
+            "protocol": self.spec.protocol,
+            "backend": self.backend,
+            "seed": self.spec.seed,
+            "f_w": self.spec.f_w,
+            "n_real": self.n_real,
+            "n_nodes": self.n_nodes,
+            "weights_digest": self.weights_digest,
+            "completed": self.completed,
+            "decided": dict(sorted(self.decided.items())),
+            "count_comparable": self.count_comparable,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "by_type": dict(sorted(self.by_type.items())),
+            "bytes_by_type": dict(sorted(self.bytes_by_type.items())),
+            "dropped_messages": self.dropped_messages,
+            "delayed_messages": self.delayed_messages,
+        }
+        if self.backend == "sim":
+            rec["sim_time"] = self.sim_time
+            rec["sim_events"] = self.sim_events
+        else:
+            rec["wall_seconds"] = self.wall_seconds
+        return rec
+
+    def record_json(self) -> str:
+        """Canonical JSON encoding (sorted keys, no whitespace)."""
+        return json.dumps(self.record(), sort_keys=True, separators=(",", ":"))
+
+    def write(self, *, base=None):
+        """Persist the record under ``results/`` (analysis artifact).
+
+        The seed is part of the filename so seed sweeps of one scenario
+        do not clobber each other's records.
+        """
+        from ..analysis.report import write_json
+
+        name = f"scenario_{self.spec.name}_{self.backend}_seed{self.spec.seed}.json"
+        return write_json(name, self.record(), base=base)
+
+
+# -- execution -------------------------------------------------------------------------
+
+
+def _fault_plan(
+    spec: ScenarioSpec, driver: ProtocolDriver
+) -> tuple[FaultController, list[int], list[frozenset[int]], list[tuple[int, int, float]]]:
+    """Translate the spec's real-party fault plan into node-id terms."""
+    faults = FaultController()
+    crashed = sorted(
+        {nid for pid in spec.faults.crashes for nid in driver.map_pid(pid)}
+    )
+    groups = [
+        frozenset(nid for pid in group for nid in driver.map_pid(pid))
+        for group in spec.faults.partition
+    ]
+    links = [
+        (s, d, delay)
+        for (src, dst, delay) in spec.faults.link_delays
+        for s in driver.map_pid(src)
+        for d in driver.map_pid(dst)
+    ]
+    return faults, crashed, groups, links
+
+
+def run_scenario(
+    spec: ScenarioSpec, *, backend: str = "sim", timeout: float = 60.0
+) -> ScenarioResult:
+    """Execute ``spec`` on ``backend`` and return the unified record.
+
+    ``backend`` is ``"sim"`` (discrete-event, deterministic, virtual
+    time), ``"inproc"`` (live asyncio queues), or ``"tcp"`` (live
+    sockets).  Runtime backends raise ``TimeoutError`` when the scenario
+    does not complete within ``timeout``; the sim instead runs to
+    quiescence and reports ``completed=False``.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; one of {BACKENDS}")
+    weights = spec.weights.materialize(spec.seed)
+    referenced = set(spec.faults.crashes)
+    referenced.update(pid for group in spec.faults.partition for pid in group)
+    referenced.update(
+        pid for (src, dst, _) in spec.faults.link_delays for pid in (src, dst)
+    )
+    bad = sorted(pid for pid in referenced if not 0 <= pid < len(weights))
+    if bad:
+        raise ValueError(
+            f"fault plan references pids {bad} out of range for {len(weights)} parties"
+        )
+    driver = _DRIVERS[spec.protocol](spec, weights)
+    faults, crashed, groups, links = _fault_plan(spec, driver)
+    live_nodes = tuple(
+        nid for nid in range(driver.n_nodes) if nid not in set(crashed)
+    )
+    if not live_nodes:
+        raise ValueError("fault plan crashes every node; nothing left to run")
+    weights_digest = _digest(repr(weights).encode())
+
+    common = dict(
+        spec=spec,
+        backend=backend,
+        n_real=len(weights),
+        n_nodes=driver.n_nodes,
+        weights_digest=weights_digest,
+        count_comparable=driver.count_comparable,
+    )
+
+    if backend == "sim":
+        return _run_sim(spec, driver, faults, crashed, groups, links, live_nodes, common)
+    return _run_runtime(
+        spec, driver, faults, crashed, groups, links, live_nodes, common,
+        transport=backend, timeout=timeout,
+    )
+
+
+def _apply_static_faults(
+    faults: FaultController,
+    groups: Sequence[frozenset[int]],
+    links: Sequence[tuple[int, int, float]],
+) -> None:
+    if groups:
+        faults.partition(*groups)
+    for src, dst, delay in links:
+        faults.delay_link(src, dst, delay)
+
+
+def _run_sim(spec, driver, faults, crashed, groups, links, live_nodes, common):
+    from ..sim.network import UniformDelay
+    from ..sim.runner import build_world
+
+    world = build_world(
+        driver.factory,
+        driver.n_nodes,
+        delay_model=UniformDelay(spec.net.delay_low, spec.net.delay_high),
+        seed=spec.seed,
+        faults=faults,
+    )
+    for nid in crashed:
+        world.party(nid).crash()
+        faults.crash(nid)
+    _apply_static_faults(faults, groups, links)
+    ctx = RunContext(
+        parties=world.parties,
+        live_nodes=live_nodes,
+        schedule=world.simulator.schedule,
+    )
+    if spec.faults.heal_at is not None:
+        ctx.at(spec.faults.heal_at, faults.heal)
+    driver.start(ctx)
+    world.run()  # to quiescence: trailing messages count, as on the runtime
+    m = world.metrics
+    return ScenarioResult(
+        completed=driver.done(ctx),
+        decided=driver.outputs(ctx),
+        messages=m.messages,
+        bytes=m.bytes,
+        by_type=dict(m.by_type),
+        bytes_by_type=dict(m.bytes_by_type),
+        dropped_messages=faults.dropped_messages,
+        delayed_messages=faults.delayed_messages,
+        sim_time=world.simulator.now,
+        sim_events=world.simulator.events_processed,
+        **common,
+    )
+
+
+def _run_runtime(
+    spec, driver, faults, crashed, groups, links, live_nodes, common,
+    *, transport, timeout,
+):
+    import asyncio
+
+    from ..runtime.cluster import run_cluster
+
+    holder: dict[str, RunContext] = {}
+
+    def setup(cluster) -> None:
+        loop = asyncio.get_running_loop()
+        ctx = RunContext(
+            parties=cluster.parties,
+            live_nodes=live_nodes,
+            schedule=lambda when, fn: loop.call_later(when, fn),
+        )
+        holder["ctx"] = ctx
+        for nid in crashed:
+            cluster.crash_node(nid)
+        _apply_static_faults(faults, groups, links)
+        if spec.faults.heal_at is not None:
+            ctx.at(spec.faults.heal_at, faults.heal)
+        driver.start(ctx)
+
+    cluster = run_cluster(
+        driver.factory,
+        driver.n_nodes,
+        transport=transport,
+        faults=faults,
+        setup=setup,
+        stop_when=lambda c: driver.done(holder["ctx"]),
+        timeout=timeout,
+    )
+    ctx = holder["ctx"]
+    m = cluster.metrics
+    return ScenarioResult(
+        completed=driver.done(ctx),
+        decided=driver.outputs(ctx),
+        messages=m.messages,
+        bytes=m.bytes,
+        by_type=dict(m.by_type),
+        bytes_by_type=dict(m.bytes_by_type),
+        dropped_messages=faults.dropped_messages,
+        delayed_messages=faults.delayed_messages,
+        wall_seconds=m.elapsed_seconds,
+        **common,
+    )

@@ -1,0 +1,119 @@
+"""Built-in named scenarios: the regimes the paper evaluates, as specs.
+
+Every scenario here completes on the sim backend (CI smoke-runs the full
+registry); the ``INPROC_SCENARIOS`` subset additionally runs on the live
+in-process runtime with decided values agreeing with the sim -- the
+cross-backend acceptance bar.
+"""
+
+from __future__ import annotations
+
+from .spec import FaultSpec, NetSpec, ScenarioSpec, WeightSpec, WorkloadSpec
+
+__all__ = ["SCENARIOS", "INPROC_SCENARIOS", "get_scenario", "scenario_names"]
+
+#: the paper's running-example stake vector (skewed, n=8, W=100)
+_STAKE = (40, 25, 15, 10, 5, 3, 1, 1)
+
+_ALL = [
+    ScenarioSpec(
+        name="uniform-rbc",
+        protocol="rbc",
+        weights=WeightSpec(kind="constant", n=8, total=800),
+        description="egalitarian weights (nominal model in disguise), Bracha RBC",
+    ),
+    ScenarioSpec(
+        name="zipf-stake-smr",
+        protocol="smr",
+        weights=WeightSpec(kind="zipf", n=10, total=1000, skew=1.2),
+        workload=WorkloadSpec(payload_size=64, epochs=1),
+        description="Zipf(1.2) stake, one composed SMR epoch",
+    ),
+    ScenarioSpec(
+        name="real-chain-rbc",
+        protocol="rbc",
+        weights=WeightSpec(kind="chain", chain="aptos", n=12),
+        description="heaviest 12 validators of the calibrated Aptos snapshot",
+    ),
+    ScenarioSpec(
+        name="crash-f-rbc",
+        protocol="rbc",
+        weights=WeightSpec(kind="explicit", values=_STAKE),
+        faults=FaultSpec(crashes=(4, 5, 6, 7)),
+        description="crash the four lightest parties (weight 10 < f_w*W)",
+    ),
+    ScenarioSpec(
+        name="partition-heal-smr",
+        protocol="smr",
+        weights=WeightSpec(kind="explicit", values=(30, 25, 20, 10, 5, 5, 3, 2)),
+        faults=FaultSpec(partition=((0, 1, 2, 3), (4, 5, 6, 7)), heal_at=0.15),
+        workload=WorkloadSpec(payload_size=32, epochs=2, epoch_times=(0.0, 0.3)),
+        description="partition during epoch 0, heal, epoch 1 commits everywhere",
+    ),
+    ScenarioSpec(
+        name="link-delay-rbc",
+        protocol="rbc",
+        weights=WeightSpec(kind="uniform", n=8, total=400),
+        faults=FaultSpec(
+            link_delays=((0, 5, 0.12), (5, 0, 0.12), (1, 5, 0.12), (2, 5, 0.12))
+        ),
+        description="slow links to one party; asynchrony, not omission",
+    ),
+    ScenarioSpec(
+        name="large-batch-smr",
+        protocol="smr",
+        weights=WeightSpec(kind="exponential", n=7, total=700),
+        workload=WorkloadSpec(payload_size=4096, epochs=2),
+        description="4 KiB batches over two epochs (byte-metric stressor)",
+    ),
+    ScenarioSpec(
+        name="skewed-quorum-rbc",
+        protocol="rbc",
+        weights=WeightSpec(kind="explicit", values=(55, 20, 10, 5, 4, 3, 2, 1)),
+        description="one party holds a majority of weight; quorums stay sound",
+    ),
+    ScenarioSpec(
+        name="vaba-blackbox",
+        protocol="vaba",
+        # Moderate skew so WR(1/4, 1/3) yields several virtual users and
+        # zero-ticket parties exercise the Section 4.4 vouching output rule.
+        weights=WeightSpec(kind="explicit", values=(18, 15, 12, 11, 10, 9, 9, 8, 5, 3)),
+        params=(("f_n", "1/3"), ("epsilon", "1/12")),
+        description="black-box weighted VABA among WR(1/4, 1/3) virtual users",
+    ),
+    ScenarioSpec(
+        name="checkpoint-tight",
+        protocol="checkpoint",
+        weights=WeightSpec(kind="explicit", values=_STAKE),
+        params=(("mode", "tight"), ("beta", "1/2")),
+        description="tight threshold-signed checkpoint (one extra vote round)",
+    ),
+]
+
+SCENARIOS: dict[str, ScenarioSpec] = {spec.name: spec for spec in _ALL}
+
+#: scenarios additionally exercised on the live in-process runtime, whose
+#: decided values must agree with the sim (and message counts too, where
+#: the driver marks them comparable)
+INPROC_SCENARIOS = (
+    "uniform-rbc",
+    "zipf-stake-smr",
+    "skewed-quorum-rbc",
+    "vaba-blackbox",
+    "checkpoint-tight",
+)
+
+
+def scenario_names() -> list[str]:
+    """Registry names in definition order."""
+    return [spec.name for spec in _ALL]
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a built-in scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; options: {scenario_names()}"
+        ) from None

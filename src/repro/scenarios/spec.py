@@ -1,0 +1,249 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` names everything a protocol execution needs --
+which protocol, how many parties, where the weights come from, which
+faults fire when, the simulated network model, the workload size, and a
+seed -- without saying *how* to execute it.  The same spec runs on the
+discrete-event simulator or on the live asyncio runtime (see
+:mod:`repro.scenarios.harness`), which is what lets one test sweep the
+protocol x distribution x fault-model matrix on both backends.
+
+Specs are plain data: every field round-trips through ``to_dict`` /
+``from_dict`` (hence JSON), and materialization is deterministic for a
+fixed seed -- two runs of the same spec draw identical weight vectors,
+payloads, and fault timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+__all__ = ["WeightSpec", "FaultSpec", "NetSpec", "WorkloadSpec", "ScenarioSpec"]
+
+#: weight-distribution kinds understood by :meth:`WeightSpec.materialize`
+WEIGHT_KINDS = (
+    "explicit",
+    "constant",
+    "uniform",
+    "zipf",
+    "pareto",
+    "lognormal",
+    "exponential",
+    "chain",
+)
+
+
+@dataclass(frozen=True)
+class WeightSpec:
+    """Where a scenario's weight vector comes from.
+
+    ``kind`` selects a generator from :mod:`repro.datasets.synthetic`, a
+    calibrated chain snapshot from :mod:`repro.datasets.chains` (truncated
+    to the ``n`` heaviest parties so the resulting cluster stays
+    runnable), or an explicit vector.
+    """
+
+    kind: str
+    n: int = 0
+    total: int = 0
+    #: skew parameter: ``s`` for zipf, ``alpha`` for pareto, ``sigma`` for
+    #: lognormal, ``rate`` for exponential (unused otherwise)
+    skew: float = 1.0
+    #: chain name for ``kind="chain"``
+    chain: str = ""
+    #: the vector itself for ``kind="explicit"``
+    values: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in WEIGHT_KINDS:
+            raise ValueError(f"unknown weight kind {self.kind!r}; one of {WEIGHT_KINDS}")
+        if self.kind == "explicit":
+            if not self.values:
+                raise ValueError("explicit weights need a non-empty values tuple")
+        elif self.kind == "chain":
+            if not self.chain or self.n < 1:
+                raise ValueError("chain weights need a chain name and n >= 1")
+        elif self.n < 1 or self.total < self.n:
+            raise ValueError("generated weights need n >= 1 and total >= n")
+
+    def materialize(self, seed: int) -> list[int]:
+        """The concrete integer weight vector (deterministic in ``seed``)."""
+        from ..datasets import chains, synthetic
+
+        if self.kind == "explicit":
+            return list(self.values)
+        if self.kind == "chain":
+            snapshot = chains.load_chain(self.chain)
+            heaviest = sorted(snapshot.weights, reverse=True)[: self.n]
+            return list(heaviest)
+        if self.kind == "constant":
+            return synthetic.constant_weights(self.n, self.total)
+        if self.kind == "uniform":
+            return synthetic.uniform_weights(self.n, self.total, seed=seed)
+        if self.kind == "zipf":
+            return synthetic.zipf_weights(self.n, self.total, s=self.skew, seed=seed)
+        if self.kind == "pareto":
+            return synthetic.pareto_weights(self.n, self.total, alpha=self.skew, seed=seed)
+        if self.kind == "lognormal":
+            return synthetic.lognormal_weights(self.n, self.total, sigma=self.skew, seed=seed)
+        if self.kind == "exponential":
+            return synthetic.exponential_weights(self.n, self.total, rate=self.skew, seed=seed)
+        raise AssertionError(f"unhandled kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The fault plan, in scenario time (sim: virtual seconds; runtime:
+    wall seconds -- both regimes use sub-second horizons).
+
+    ``crashes`` fire at t=0.  ``partition`` (a tuple of pid groups) is
+    active from t=0 until ``heal_at`` (``None`` = never heals).
+    ``link_delays`` adds fixed latency to directed links for the whole
+    run.  Fault pids refer to *real* parties; drivers that expand parties
+    into virtual users translate them.
+    """
+
+    crashes: tuple[int, ...] = ()
+    partition: tuple[tuple[int, ...], ...] = ()
+    heal_at: Optional[float] = None
+    link_delays: tuple[tuple[int, int, float], ...] = ()
+
+
+@dataclass(frozen=True)
+class NetSpec:
+    """The simulated network's delay model (sim backend only; the live
+    runtime's latency is whatever the transport really does)."""
+
+    delay_low: float = 0.01
+    delay_high: float = 0.1
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What the parties are asked to do.
+
+    ``epochs`` counts SMR epochs / checkpoints (RBC and VABA run one
+    instance).  ``epoch_times`` optionally staggers epoch starts in
+    scenario time (default: everything fires at t=0) -- the hook that
+    lets the partition-heal scenario propose an epoch after the heal.
+    """
+
+    payload_size: int = 32
+    epochs: int = 1
+    epoch_times: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.payload_size < 1:
+            raise ValueError("payload_size must be positive")
+        if self.epochs < 1:
+            raise ValueError("epochs must be positive")
+        if self.epoch_times and len(self.epoch_times) != self.epochs:
+            raise ValueError("epoch_times must have one entry per epoch")
+
+    def start_time(self, epoch: int) -> float:
+        return self.epoch_times[epoch] if self.epoch_times else 0.0
+
+
+#: protocols the harness knows how to drive
+PROTOCOLS = ("rbc", "smr", "vaba", "checkpoint")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, executable scenario description."""
+
+    name: str
+    protocol: str
+    weights: WeightSpec
+    f_w: str = "1/3"
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    net: NetSpec = field(default_factory=NetSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    seed: int = 0
+    #: free-form protocol options (e.g. checkpoint mode); values must be
+    #: JSON scalars
+    params: tuple[tuple[str, object], ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}; one of {PROTOCOLS}")
+
+    def param(self, key: str, default=None):
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        return replace(self, seed=seed)
+
+    # -- serialization -----------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "protocol": self.protocol,
+            "weights": {
+                "kind": self.weights.kind,
+                "n": self.weights.n,
+                "total": self.weights.total,
+                "skew": self.weights.skew,
+                "chain": self.weights.chain,
+                "values": list(self.weights.values),
+            },
+            "f_w": self.f_w,
+            "faults": {
+                "crashes": list(self.faults.crashes),
+                "partition": [list(g) for g in self.faults.partition],
+                "heal_at": self.faults.heal_at,
+                "link_delays": [list(d) for d in self.faults.link_delays],
+            },
+            "net": {"delay_low": self.net.delay_low, "delay_high": self.net.delay_high},
+            "workload": {
+                "payload_size": self.workload.payload_size,
+                "epochs": self.workload.epochs,
+                "epoch_times": list(self.workload.epoch_times),
+            },
+            "seed": self.seed,
+            "params": [list(p) for p in self.params],
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        w = data["weights"]
+        f = data.get("faults", {})
+        n = data.get("net", {})
+        wl = data.get("workload", {})
+        return cls(
+            name=data["name"],
+            protocol=data["protocol"],
+            weights=WeightSpec(
+                kind=w["kind"],
+                n=w.get("n", 0),
+                total=w.get("total", 0),
+                skew=w.get("skew", 1.0),
+                chain=w.get("chain", ""),
+                values=tuple(w.get("values", ())),
+            ),
+            f_w=data.get("f_w", "1/3"),
+            faults=FaultSpec(
+                crashes=tuple(f.get("crashes", ())),
+                partition=tuple(tuple(g) for g in f.get("partition", ())),
+                heal_at=f.get("heal_at"),
+                link_delays=tuple(tuple(d) for d in f.get("link_delays", ())),
+            ),
+            net=NetSpec(
+                delay_low=n.get("delay_low", 0.01),
+                delay_high=n.get("delay_high", 0.1),
+            ),
+            workload=WorkloadSpec(
+                payload_size=wl.get("payload_size", 32),
+                epochs=wl.get("epochs", 1),
+                epoch_times=tuple(wl.get("epoch_times", ())),
+            ),
+            seed=data.get("seed", 0),
+            params=tuple((k, v) for k, v in data.get("params", ())),
+            description=data.get("description", ""),
+        )

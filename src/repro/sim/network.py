@@ -6,6 +6,13 @@ and from targeted parties (but never drop honest-to-honest traffic --
 that would violate asynchrony rather than model it).  The network counts
 messages and payload bytes per type, which is how the benchmark harness
 measures the communication-overhead columns of the paper's Table 1.
+
+Injected faults (crashes, partitions, per-link delay) are consulted at
+the *delivery point* through the same ``decide(src, dst)`` interface the
+live runtime's :class:`~repro.runtime.faults.FaultController` exposes, so
+one fault plan produces the same drop/delay behavior on both execution
+backends.  Metrics are recorded at send time on both backends, which
+keeps message counts comparable even under faults.
 """
 
 from __future__ import annotations
@@ -98,12 +105,17 @@ class Network:
         delay_model: Optional[DelayModel] = None,
         *,
         seed: int = 0,
+        faults=None,
     ) -> None:
         self.simulator = simulator
         self.delay_model = delay_model or UniformDelay()
         self.rng = random.Random(seed)
         self.parties: dict[int, "Party"] = {}
         self.metrics = NetworkMetrics()
+        #: optional fault plan with a ``decide(src, dst)`` method (duck-typed
+        #: so :class:`repro.runtime.faults.FaultController` plugs in without
+        #: the sim importing the runtime package)
+        self.faults = faults
 
     def register(self, party: "Party") -> None:
         """Attach a party; its ``pid`` must be unique."""
@@ -124,8 +136,27 @@ class Network:
         delay = self.delay_model.delay(src, dst, self.rng)
         receiver = self.parties[dst]
         self.simulator.schedule(
-            delay, lambda m=message, s=src, r=receiver: r.receive(m, s)
+            delay, lambda m=message, s=src, r=receiver: self._deliver(s, r, m)
         )
+
+    def _deliver(self, src: int, receiver: "Party", message) -> None:
+        """Fault check at the delivery point, then dispatch.
+
+        A message sent under a partition but arriving after ``heal()`` is
+        delivered -- the decision is taken when the message *arrives*,
+        matching :meth:`repro.runtime.transport.Transport._deliver`.
+        """
+        if self.faults is not None:
+            decision = self.faults.decide(src, receiver.pid)
+            if not decision.deliver:
+                return
+            if decision.delay > 0:
+                self.simulator.schedule(
+                    decision.delay,
+                    lambda m=message, s=src, r=receiver: r.receive(m, s),
+                )
+                return
+        receiver.receive(message, src)
 
     def broadcast(self, src: int, message, *, include_self: bool = True) -> None:
         """Send ``message`` to every registered party."""

@@ -49,10 +49,17 @@ def build_world(
     *,
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
+    faults=None,
 ) -> World:
-    """Create ``n`` parties via ``party_factory(pid)`` on a fresh network."""
+    """Create ``n`` parties via ``party_factory(pid)`` on a fresh network.
+
+    ``faults`` is an optional fault plan consulted at the delivery point
+    (see :class:`repro.sim.network.Network`); the scenario harness passes
+    the same :class:`~repro.runtime.faults.FaultController` it would hand
+    to a live cluster.
+    """
     simulator = Simulator()
-    network = Network(simulator, delay_model or UniformDelay(), seed=seed)
+    network = Network(simulator, delay_model or UniformDelay(), seed=seed, faults=faults)
     parties = []
     for pid in range(n):
         party = party_factory(pid)

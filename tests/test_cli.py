@@ -192,3 +192,55 @@ class TestClusterCommand:
         payload = json.loads(capsys.readouterr().out)
         assert payload["transport"] == "tcp"
         assert payload["metrics"]["messages"] == 4 + 16 + 16
+
+
+class TestScenarioCommand:
+    def test_list_shows_registry(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        # at least the 8 regimes the issue names, one line each + header
+        assert len(out.strip().splitlines()) >= 9
+        assert "uniform-rbc" in out and "partition-heal-smr" in out
+
+    def test_list_json(self, capsys):
+        assert main(["scenario", "--list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [s["name"] for s in payload["scenarios"]]
+        assert len(names) >= 8 and "vaba-blackbox" in names
+
+    def test_run_sim_json_record(self, capsys):
+        assert main(["scenario", "uniform-rbc", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["backend"] == "sim"
+        assert record["completed"] is True
+        assert record["messages"] > 0
+        assert len(set(record["decided"].values())) == 1
+
+    def test_run_inproc_human_output(self, capsys):
+        assert main(["scenario", "skewed-quorum-rbc", "--backend", "inproc"]) == 0
+        out = capsys.readouterr().out
+        assert "completed       : True" in out
+        assert "wall clock" in out
+
+    def test_seed_override_changes_decided(self, capsys):
+        assert main(["scenario", "uniform-rbc", "--json"]) == 0
+        base = json.loads(capsys.readouterr().out)
+        assert main(["scenario", "uniform-rbc", "--seed", "5", "--json"]) == 0
+        reseeded = json.loads(capsys.readouterr().out)
+        assert base["seed"] == 0 and reseeded["seed"] == 5
+        assert base["decided"] != reseeded["decided"]
+
+    def test_save_writes_artifact(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["scenario", "crash-f-rbc", "--save", "--json"]) == 0
+        artifact = tmp_path / "scenario_crash-f-rbc_sim_seed0.json"
+        assert artifact.exists()
+        assert json.loads(artifact.read_text())["scenario"] == "crash-f-rbc"
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_missing_name_exits_2(self, capsys):
+        assert main(["scenario"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,96 @@
+"""Benchmark -- facade solve throughput and the memoized price stream.
+
+Two measurements on a 10k-party Zipf committee (the scale regime of the
+paper's Filecoin column):
+
+* end-to-end ``Committee.solve`` throughput through the policy registry
+  (solves per second, full and linear modes);
+* the binary search's ticket-materialization hot path with the memoized
+  :class:`~repro.core.prices.PriceStream` against the pre-facade
+  per-probe recomputation, at the exact probe sequence Swiper visits.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_api.py -q -s
+"""
+
+import time
+
+from repro.analysis.report import write_csv_rows
+from repro.api import Committee
+from repro.core import WeightRestriction
+from repro.core.prices import PriceStream, assignment_for_total
+from repro.core.types import normalize_weights
+
+PROBLEM = WeightRestriction("1/3", "1/2")
+COMMITTEE = Committee.synthetic("zipf", n=10_000, total=10_000_000, skew=1.0, seed=1)
+
+
+def _probe_sequence(bound: int) -> list[int]:
+    """The totals Swiper's binary search visits for an always-valid run
+    (worst-case memoization overlap: every probe shrinks hi)."""
+    lo, hi, probes = 0, bound, []
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        probes.append(mid)
+        hi = mid  # assume valid: descend toward the minimum
+    probes.append(hi)
+    return probes
+
+
+def test_committee_solve_throughput(benchmark):
+    """Facade solves per second on the 10k-party Zipf committee."""
+
+    def solve_both():
+        full = COMMITTEE.solve(PROBLEM, "swiper", verify=False)
+        linear = COMMITTEE.solve(PROBLEM, "swiper-linear", verify=False)
+        return full, linear
+
+    full, linear = benchmark.pedantic(solve_both, rounds=3, iterations=1)
+    assert full.achieved <= full.bound and linear.achieved <= linear.bound
+    assert full.achieved <= linear.achieved
+    print(
+        f"\n10k zipf: full T={full.achieved} ({full.elapsed_seconds:.3f}s, "
+        f"{full.probes} probes), linear T={linear.achieved} "
+        f"({linear.elapsed_seconds:.3f}s)"
+    )
+    write_csv_rows(
+        "api_solve_10k_zipf.csv",
+        ["policy", "total_tickets", "bound", "probes", "solve_seconds"],
+        [
+            ["swiper", full.achieved, full.bound, full.probes, f"{full.elapsed_seconds:.6f}"],
+            ["swiper-linear", linear.achieved, linear.bound, linear.probes,
+             f"{linear.elapsed_seconds:.6f}"],
+        ],
+    )
+
+
+def test_price_stream_memoization(benchmark):
+    """The memoized stream against per-probe recomputation."""
+    ws = normalize_weights(COMMITTEE.weights)
+    c = PROBLEM.rounding_constant
+    probes = _probe_sequence(PROBLEM.ticket_bound(len(ws)))
+
+    def memoized():
+        stream = PriceStream(ws, c)
+        return [stream.assignment(t) for t in probes]
+
+    results = benchmark.pedantic(memoized, rounds=3, iterations=1)
+
+    start = time.perf_counter()
+    naive = [assignment_for_total(ws, c, t) for t in probes]
+    naive_seconds = time.perf_counter() - start
+    assert results == naive  # memoization must not change a single ticket
+
+    memo_seconds = benchmark.stats.stats.mean
+    speedup = naive_seconds / memo_seconds if memo_seconds > 0 else float("inf")
+    print(
+        f"\n{len(probes)} probes over n=10k: memoized {memo_seconds:.3f}s, "
+        f"naive {naive_seconds:.3f}s ({speedup:.1f}x)"
+    )
+    write_csv_rows(
+        "api_price_stream_10k.csv",
+        ["variant", "probes", "seconds"],
+        [
+            ["price-stream", len(probes), f"{memo_seconds:.6f}"],
+            ["per-probe", len(probes), f"{naive_seconds:.6f}"],
+        ],
+    )

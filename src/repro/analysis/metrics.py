@@ -26,6 +26,12 @@ class TicketMetrics:
             holders=assignment.holders,
         )
 
+    @staticmethod
+    def from_result(result) -> "TicketMetrics":
+        """From any solve outcome carrying an ``assignment`` -- a
+        ``SwiperResult`` or the facade's ``TicketAssignmentResult``."""
+        return TicketMetrics.from_assignment(result.assignment)
+
 
 @dataclass(frozen=True)
 class SweepPoint:

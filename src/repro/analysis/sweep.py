@@ -42,6 +42,11 @@ TABLE2_WR_PAIRS: tuple[tuple[Fraction, Fraction], ...] = (
 )
 
 
+def _weights_of(weights) -> Sequence[int]:
+    """Accept a plain weight sequence or a ``repro.api`` Committee."""
+    return getattr(weights, "weights", weights)
+
+
 def alpha_grid_sweep(
     weights: Sequence[int],
     *,
@@ -49,7 +54,11 @@ def alpha_grid_sweep(
     ratios: Sequence[Fraction] = DEFAULT_RATIOS,
     mode: str = "full",
 ) -> list[SweepPoint]:
-    """Solve WR on every (alpha_n, ratio) grid cell (left-column heatmaps)."""
+    """Solve WR on every (alpha_n, ratio) grid cell (left-column heatmaps).
+
+    ``weights`` is a plain sequence or a :class:`repro.api.Committee`.
+    """
+    weights = _weights_of(weights)
     solver = Swiper(mode=mode)
     points = []
     for alpha_n in alpha_ns:
@@ -82,8 +91,10 @@ def nfrac_sweep(
     """Bootstrap scaling series for one parameter pair (right columns).
 
     The paper runs 100 trials per point; ``trials`` is configurable so the
-    benchmark harness can trade precision for wall-clock.
+    benchmark harness can trade precision for wall-clock.  ``weights`` is
+    a plain sequence or a :class:`repro.api.Committee`.
     """
+    weights = _weights_of(weights)
     solver = Swiper(mode=mode)
     problem = WeightRestriction(alpha_w, alpha_n)
     rng = random.Random(seed)

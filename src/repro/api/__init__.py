@@ -1,0 +1,66 @@
+"""The committee-centric public API: weights -> tickets -> execution.
+
+One facade over the whole pipeline::
+
+    from repro.api import Committee, Session, BackendSpec
+    from repro.core import WeightRestriction
+
+    committee = Committee.synthetic("zipf", n=10, total=1000, skew=1.2)
+    tickets = committee.solve(WeightRestriction("1/3", "1/2"))   # -> TicketAssignmentResult
+    record = Session(committee=committee, protocol="rbc").run()  # -> unified JSON record
+
+* :class:`WeightSource` and its implementations say where weights come
+  from (inline, file, chain snapshot, synthetic distribution);
+* :class:`Committee` is the immutable weighted party set every layer
+  shares, with one :meth:`~Committee.validate` for infeasible inputs;
+* the :mod:`~repro.api.policy` registry maps policy names (``swiper``,
+  ``swiper-linear``, ``milp``, ``brute-force``, or custom registrations)
+  to a uniform :class:`TicketAssignmentResult`;
+* :class:`Session` executes a committee + protocol + backend and emits
+  the scenario engine's unified record.
+
+The CLI, the scenario engine, and the examples all consume this facade;
+adding a backend or a solver strategy is one registration, not a
+per-layer rewiring.  This module's ``__all__`` is frozen in the
+repo-root ``api_surface.txt`` -- CI fails on export drift.
+"""
+
+from .committee import Committee, CommitteeValidationError
+from .policy import (
+    POLICIES,
+    SolverPolicy,
+    TicketAssignmentResult,
+    get_policy,
+    register_policy,
+    solve_with_policy,
+)
+from .session import BackendSpec, Session
+from .weight_source import (
+    SYNTHETIC_KINDS,
+    ChainWeights,
+    FileWeights,
+    InlineWeights,
+    SyntheticWeights,
+    WeightSource,
+    weight_source_from_args,
+)
+
+__all__ = [
+    "Committee",
+    "CommitteeValidationError",
+    "WeightSource",
+    "InlineWeights",
+    "FileWeights",
+    "ChainWeights",
+    "SyntheticWeights",
+    "SYNTHETIC_KINDS",
+    "weight_source_from_args",
+    "SolverPolicy",
+    "TicketAssignmentResult",
+    "POLICIES",
+    "register_policy",
+    "get_policy",
+    "solve_with_policy",
+    "BackendSpec",
+    "Session",
+]

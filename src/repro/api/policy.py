@@ -1,0 +1,205 @@
+"""The solver-policy registry: one name, one way to turn a committee
+into tickets.
+
+Every registered policy maps ``(problem, weights)`` to a ticket
+assignment; :func:`solve_with_policy` wraps whichever one ran in a
+uniform :class:`TicketAssignmentResult` carrying the theorem bound, the
+achieved total, and a validity verdict.  New strategies -- an ILP warm
+start, a heuristic, an external solver -- plug in through
+:func:`register_policy` without touching any caller.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..core.exact import solve_exact_milp, solve_family_optimal
+from ..core.solver import Swiper, SwiperResult, is_valid_assignment
+from ..core.types import TicketAssignment
+
+__all__ = [
+    "SolverPolicy",
+    "TicketAssignmentResult",
+    "POLICIES",
+    "register_policy",
+    "get_policy",
+    "solve_with_policy",
+]
+
+
+@dataclass(frozen=True)
+class TicketAssignmentResult:
+    """Uniform outcome of solving a weight-reduction problem via any policy.
+
+    Attributes
+    ----------
+    problem:
+        The WR / WQ / WS instance that was solved.
+    policy:
+        Registry name of the strategy that produced the assignment.
+    assignment:
+        The integer ticket assignment.
+    bound:
+        The theorem ticket bound for this problem at this ``n`` (the
+        approximation yardstick every policy is measured against).
+    achieved:
+        Total tickets actually allocated (``assignment.total``).
+    verdict:
+        ``"valid"`` / ``"invalid"`` when the assignment was checked
+        against the problem definition, ``"unverified"`` when the caller
+        skipped the check (large instances).
+    elapsed_seconds:
+        Wall-clock duration of the solve (excludes verification).
+    probes:
+        Family members examined, for policies that search (else ``None``).
+    """
+
+    problem: object
+    policy: str
+    assignment: TicketAssignment
+    bound: int
+    achieved: int
+    verdict: str
+    elapsed_seconds: float
+    probes: Optional[int] = None
+
+    @property
+    def total_tickets(self) -> int:
+        return self.achieved
+
+    @property
+    def max_tickets(self) -> int:
+        return self.assignment.max_tickets
+
+    @property
+    def holders(self) -> int:
+        return self.assignment.holders
+
+    @property
+    def within_bound(self) -> bool:
+        return self.achieved <= self.bound
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot (CLI ``--json`` and benchmark rows)."""
+        return {
+            "problem": str(self.problem),
+            "policy": self.policy,
+            "total_tickets": self.achieved,
+            "ticket_bound": self.bound,
+            "max_per_party": self.max_tickets,
+            "ticket_holders": self.holders,
+            "verdict": self.verdict,
+            "solve_seconds": self.elapsed_seconds,
+        }
+
+
+#: a policy's solve function: (problem, weights) -> assignment-ish
+SolveFn = Callable[[object, Sequence], "TicketAssignment | SwiperResult"]
+
+
+@dataclass(frozen=True)
+class SolverPolicy:
+    """A named ticket-assignment strategy."""
+
+    name: str
+    description: str
+    fn: SolveFn
+
+
+POLICIES: dict[str, SolverPolicy] = {}
+
+
+def register_policy(name: str, fn: SolveFn, *, description: str = "") -> SolverPolicy:
+    """Register (or replace) a policy under ``name``.
+
+    ``fn(problem, weights)`` may return a ``TicketAssignment``, a raw
+    ticket sequence, or a full ``SwiperResult``; the wrapper normalizes
+    all three.  This is the ``custom`` hook: applications register their
+    own strategies and the whole facade (``Committee.solve``, the CLI's
+    internals, benchmarks) can name them.
+    """
+    policy = SolverPolicy(name=name, description=description, fn=fn)
+    POLICIES[name] = policy
+    return policy
+
+
+def get_policy(name: str) -> SolverPolicy:
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver policy {name!r}; options: {sorted(POLICIES)}"
+        ) from None
+
+
+def solve_with_policy(
+    problem,
+    committee,
+    policy: str = "swiper",
+    *,
+    verify: bool = True,
+) -> TicketAssignmentResult:
+    """Run ``policy`` on ``committee`` (anything with ``.weights``) and
+    wrap the outcome uniformly.
+
+    ``verify=True`` re-checks the assignment against the problem
+    definition with the exact checker -- cheap for typical instances,
+    skippable (``verdict="unverified"``) for throughput benchmarks.
+    """
+    chosen = get_policy(policy)
+    weights = getattr(committee, "weights", committee)
+    start = time.perf_counter()
+    raw = chosen.fn(problem, weights)
+    elapsed = time.perf_counter() - start
+    probes: Optional[int] = None
+    if isinstance(raw, SwiperResult):
+        assignment = raw.assignment
+        elapsed = raw.elapsed_seconds
+        probes = raw.probes
+    elif isinstance(raw, TicketAssignment):
+        assignment = raw
+    else:
+        assignment = TicketAssignment(tuple(raw))
+    bound = problem.ticket_bound(len(assignment))
+    if verify:
+        verdict = (
+            "valid" if is_valid_assignment(problem, weights, assignment) else "invalid"
+        )
+    else:
+        verdict = "unverified"
+    return TicketAssignmentResult(
+        problem=problem,
+        policy=chosen.name,
+        assignment=assignment,
+        bound=bound,
+        achieved=assignment.total,
+        verdict=verdict,
+        elapsed_seconds=elapsed,
+        probes=probes,
+    )
+
+
+# -- built-in policies -----------------------------------------------------------------
+
+register_policy(
+    "swiper",
+    lambda problem, weights: Swiper(mode="full").solve(problem, weights),
+    description="binary search over the ticket family, knapsack-backed checks",
+)
+register_policy(
+    "swiper-linear",
+    lambda problem, weights: Swiper(mode="linear").solve(problem, weights),
+    description="quasilinear quick-test-only mode (paper's --linear)",
+)
+register_policy(
+    "milp",
+    solve_exact_milp,
+    description="true optimum over all integer assignments (Appendix B, n <= 16)",
+)
+register_policy(
+    "brute-force",
+    solve_family_optimal,
+    description="globally minimal family member via the exact oracle (n <= 20)",
+)

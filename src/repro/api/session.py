@@ -1,0 +1,145 @@
+"""The :class:`Session` runner: committee + policy + backend + protocol.
+
+A session is the facade's executable object: it binds a
+:class:`~repro.api.committee.Committee` to a protocol, an execution
+backend, and (optionally) a solver policy, and produces exactly the
+unified JSON record the scenario engine emits -- ``Session.run()`` on
+the sim backend is byte-identical to the pre-facade
+``run_scenario(spec)`` for the same spec (pinned by a golden test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from ..scenarios.harness import BACKENDS, ScenarioResult, run_scenario
+from ..scenarios.spec import FaultSpec, NetSpec, ScenarioSpec, WeightSpec, WorkloadSpec
+from .committee import Committee
+
+__all__ = ["BackendSpec", "Session"]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Which execution backend runs the session, and its patience."""
+
+    name: str = "sim"
+    timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.name not in BACKENDS:
+            raise ValueError(f"unknown backend {self.name!r}; one of {BACKENDS}")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+    @classmethod
+    def of(cls, backend: Union[str, "BackendSpec"]) -> "BackendSpec":
+        """Coerce a backend name to a spec (identity on specs)."""
+        return backend if isinstance(backend, BackendSpec) else cls(name=backend)
+
+
+@dataclass(frozen=True)
+class Session:
+    """One executable protocol run over a committee.
+
+    Built either directly (``Session(committee=..., protocol="rbc")``)
+    or from a registry scenario (:meth:`from_spec`), which preserves the
+    original spec verbatim so records stay reproducible byte-for-byte.
+    """
+
+    committee: Committee
+    protocol: str
+    backend: BackendSpec = field(default_factory=BackendSpec)
+    name: str = "session"
+    f_w: str = "1/3"
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    net: NetSpec = field(default_factory=NetSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    params: tuple = ()
+    policy: str = "swiper"
+    description: str = ""
+    #: the originating scenario spec, when built via :meth:`from_spec`
+    base_spec: Optional[ScenarioSpec] = None
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: ScenarioSpec,
+        *,
+        backend: Union[str, BackendSpec] = "sim",
+        timeout: Optional[float] = None,
+        policy: str = "swiper",
+    ) -> "Session":
+        """Wrap a declarative scenario spec as a runnable session."""
+        chosen = BackendSpec.of(backend)
+        if timeout is not None:
+            chosen = replace(chosen, timeout=timeout)
+        committee = Committee.from_weight_spec(spec.weights, seed=spec.seed)
+        return cls(
+            committee=committee,
+            protocol=spec.protocol,
+            backend=chosen,
+            name=spec.name,
+            f_w=spec.f_w,
+            faults=spec.faults,
+            net=spec.net,
+            workload=spec.workload,
+            params=spec.params,
+            policy=policy,
+            description=spec.description,
+            base_spec=spec,
+        )
+
+    def with_backend(
+        self, backend: Union[str, BackendSpec], *, timeout: Optional[float] = None
+    ) -> "Session":
+        chosen = BackendSpec.of(backend)
+        if timeout is not None:
+            chosen = replace(chosen, timeout=timeout)
+        return replace(self, backend=chosen)
+
+    def to_spec(self) -> ScenarioSpec:
+        """The scenario spec this session executes.
+
+        Sessions built from a spec return it verbatim; directly-built
+        sessions pin the committee's already-resolved weights as an
+        explicit vector, so the run is reproducible even when the
+        committee came from a sampled source.
+        """
+        if self.base_spec is not None:
+            return self.base_spec
+        return ScenarioSpec(
+            name=self.name,
+            protocol=self.protocol,
+            weights=WeightSpec(
+                kind="explicit", values=tuple(self.committee.int_weights)
+            ),
+            f_w=self.f_w,
+            faults=self.faults,
+            net=self.net,
+            workload=self.workload,
+            seed=self.committee.seed,
+            params=self.params,
+            description=self.description,
+        )
+
+    def run(self) -> ScenarioResult:
+        """Execute on the configured backend; returns the unified record
+        object (``.record()`` / ``.record_json()`` / ``.write()``).
+
+        Passes the already-resolved committee through, so the weight
+        source (a chain snapshot, a sampled distribution) is resolved
+        once at session construction, not again per run.
+        """
+        return run_scenario(
+            self.to_spec(),
+            backend=self.backend.name,
+            timeout=self.backend.timeout,
+            committee=self.committee,
+        )
+
+    def solve(self, problem, *, policy: Optional[str] = None, verify: bool = True):
+        """Solve a weight-reduction problem on this session's committee
+        with the session's (or an explicit) solver policy."""
+        return self.committee.solve(problem, policy or self.policy, verify=verify)

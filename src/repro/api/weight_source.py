@@ -1,0 +1,202 @@
+"""Where weights come from: one abstraction for every source.
+
+Before the facade existed, weight parsing was duplicated: ``repro.cli``
+read ``--weights`` / ``--weights-file`` / ``--chain`` with its own
+helper, and ``repro.scenarios.spec`` re-implemented the same dispatch
+for its declarative ``WeightSpec``.  Both now route through the
+:class:`WeightSource` hierarchy below, so a new kind of source (say, an
+HTTP stake oracle) plugs into the CLI, the scenario DSL, and the
+:class:`~repro.api.committee.Committee` constructors by subclassing in
+exactly one place.
+
+A source is a *recipe*, not a vector: :meth:`WeightSource.resolve`
+produces the concrete weight list, deterministically for a fixed seed
+(sources that do not sample simply ignore the seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.types import Number
+
+__all__ = [
+    "WeightSource",
+    "InlineWeights",
+    "FileWeights",
+    "ChainWeights",
+    "SyntheticWeights",
+    "SYNTHETIC_KINDS",
+    "weight_source_from_args",
+]
+
+#: generator names understood by :class:`SyntheticWeights`, matching the
+#: generators of :mod:`repro.datasets.synthetic`
+SYNTHETIC_KINDS = (
+    "constant",
+    "uniform",
+    "zipf",
+    "pareto",
+    "lognormal",
+    "exponential",
+)
+
+
+class WeightSource:
+    """A recipe for a weight vector.
+
+    Subclasses implement :meth:`resolve` (the concrete weights,
+    deterministic in ``seed``) and :meth:`describe` (one-line provenance
+    recorded on the committees built from the source).
+    """
+
+    def resolve(self, seed: int = 0) -> list[Number]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class InlineWeights(WeightSource):
+    """An explicit weight vector, kept verbatim.
+
+    Values may be ints, floats, ``Fraction`` instances, or strings like
+    ``"1/3"`` / ``"0.25"`` -- exactness is decided downstream by
+    :func:`repro.core.types.normalize_weights`, so CLI tokens pass
+    through unparsed (a bogus token surfaces as ``ValueError`` there).
+    """
+
+    values: tuple[Number, ...]
+
+    def __init__(self, values: Sequence[Number]) -> None:
+        object.__setattr__(self, "values", tuple(values))
+        if not self.values:
+            raise ValueError("inline weights need a non-empty value list")
+
+    def resolve(self, seed: int = 0) -> list[Number]:
+        return list(self.values)
+
+    def describe(self) -> str:
+        return f"inline[{len(self.values)}]"
+
+
+@dataclass(frozen=True)
+class FileWeights(WeightSource):
+    """One weight per line; blank lines are skipped (CLI ``--weights-file``)."""
+
+    path: str
+
+    def resolve(self, seed: int = 0) -> list[Number]:
+        with open(self.path) as fh:
+            values = [line.strip() for line in fh if line.strip()]
+        if not values:
+            raise ValueError(f"weights file {self.path!r} contains no weights")
+        return values
+
+    def describe(self) -> str:
+        return f"file:{self.path}"
+
+
+@dataclass(frozen=True)
+class ChainWeights(WeightSource):
+    """A calibrated chain snapshot (:mod:`repro.datasets.chains`).
+
+    With ``n`` the snapshot is truncated to its ``n`` heaviest parties
+    (the scenario engine's convention, keeping clusters runnable); without
+    it the full validator set is used (the CLI's convention).
+    """
+
+    chain: str
+    n: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.chain:
+            raise ValueError("chain weights need a chain name")
+        if self.n is not None and self.n < 1:
+            raise ValueError("chain truncation needs n >= 1")
+
+    def resolve(self, seed: int = 0) -> list[Number]:
+        from ..datasets import load_chain
+
+        snapshot = load_chain(self.chain)
+        if self.n is None:
+            return list(snapshot.weights)
+        return sorted(snapshot.weights, reverse=True)[: self.n]
+
+    def describe(self) -> str:
+        suffix = f"[top {self.n}]" if self.n is not None else ""
+        return f"chain:{self.chain}{suffix}"
+
+
+@dataclass(frozen=True)
+class SyntheticWeights(WeightSource):
+    """A seeded synthetic distribution (:mod:`repro.datasets.synthetic`).
+
+    ``skew`` is the generator's shape parameter: ``s`` for zipf,
+    ``alpha`` for pareto, ``sigma`` for lognormal, ``rate`` for
+    exponential (ignored by constant/uniform).
+    """
+
+    kind: str
+    n: int
+    total: int
+    skew: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SYNTHETIC_KINDS:
+            raise ValueError(
+                f"unknown synthetic kind {self.kind!r}; one of {SYNTHETIC_KINDS}"
+            )
+        if self.n < 1 or self.total < self.n:
+            raise ValueError("synthetic weights need n >= 1 and total >= n")
+
+    def resolve(self, seed: int = 0) -> list[Number]:
+        from ..datasets import synthetic
+
+        if self.kind == "constant":
+            return synthetic.constant_weights(self.n, self.total)
+        if self.kind == "uniform":
+            return synthetic.uniform_weights(self.n, self.total, seed=seed)
+        if self.kind == "zipf":
+            return synthetic.zipf_weights(self.n, self.total, s=self.skew, seed=seed)
+        if self.kind == "pareto":
+            return synthetic.pareto_weights(
+                self.n, self.total, alpha=self.skew, seed=seed
+            )
+        if self.kind == "lognormal":
+            return synthetic.lognormal_weights(
+                self.n, self.total, sigma=self.skew, seed=seed
+            )
+        if self.kind == "exponential":
+            return synthetic.exponential_weights(
+                self.n, self.total, rate=self.skew, seed=seed
+            )
+        raise AssertionError(f"unhandled kind {self.kind!r}")
+
+    def describe(self) -> str:
+        return f"{self.kind}(n={self.n}, total={self.total}, skew={self.skew})"
+
+
+def weight_source_from_args(
+    weights: Optional[Sequence[Number]] = None,
+    weights_file: Optional[str] = None,
+    chain: Optional[str] = None,
+) -> Optional[WeightSource]:
+    """The CLI's mutually-exclusive weight-source triple as a source.
+
+    Returns ``None`` when no source was given (the cluster subcommand's
+    nominal-layout fallback); raises if more than one is set -- argparse
+    enforces exclusivity for the CLI, this guards programmatic callers.
+    """
+    given = [x for x in (weights, weights_file, chain) if x is not None]
+    if len(given) > 1:
+        raise ValueError("weights, weights_file, and chain are mutually exclusive")
+    if weights is not None:
+        return InlineWeights(weights)
+    if weights_file is not None:
+        return FileWeights(weights_file)
+    if chain is not None:
+        return ChainWeights(chain)
+    return None

@@ -13,10 +13,14 @@ runner::
     python -m repro.cli scenario zipf-stake-smr --backend inproc --json
 
 Weights come from ``--weights`` (inline), ``--weights-file`` (one number
-per line), or ``--chain`` (a calibrated snapshot).  Output is the ticket
-assignment summary, or the full per-party list with ``--full-output``;
-``--json`` switches every subcommand to machine-readable output.  Invalid
-parameter combinations exit with status 2.
+per line), or ``--chain`` (a calibrated snapshot); all three are parsed
+by the shared :mod:`repro.api.weight_source` module and materialize as a
+:class:`repro.api.Committee`, which also centralizes feasibility
+validation.  Output is the ticket assignment summary, or the full
+per-party list with ``--full-output``; ``--json`` switches every
+subcommand to machine-readable output.  Invalid parameter combinations
+exit with status 2 and -- under ``--json`` -- emit one uniform
+``{"error": ...}`` object on stderr.
 """
 
 from __future__ import annotations
@@ -28,14 +32,17 @@ import sys
 from fractions import Fraction
 from typing import Optional, Sequence
 
+from .api import Committee, weight_source_from_args
 from .core import (
     WeightQualification,
     WeightRestriction,
     WeightSeparation,
-    solve,
 )
 
 __all__ = ["main", "build_parser"]
+
+#: solver policies selectable from the command line (registry names)
+_CLI_POLICIES = ("swiper", "swiper-linear", "milp", "brute-force")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--linear",
             action="store_true",
             help="quasilinear mode: quick test only (paper's --linear)",
+        )
+        p.add_argument(
+            "--policy",
+            choices=_CLI_POLICIES,
+            default=None,
+            help="solver policy from the repro.api registry "
+            "(default: swiper; --linear implies swiper-linear)",
         )
         p.add_argument(
             "--full-output",
@@ -172,24 +186,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_weights(args: argparse.Namespace) -> Optional[list]:
-    if args.weights is not None:
-        return list(args.weights)
-    if args.weights_file is not None:
-        with open(args.weights_file) as fh:
-            return [line.strip() for line in fh if line.strip()]
-    if getattr(args, "chain", None) is not None:
-        from .datasets import load_chain
+def _fail(args: argparse.Namespace, message) -> int:
+    """The one error path every subcommand shares: status 2, and under
+    ``--json`` the same ``{"error": ...}`` object (on stderr, so piped
+    stdout never mixes records with diagnostics)."""
+    if getattr(args, "json", False):
+        print(json.dumps({"error": str(message)}), file=sys.stderr)
+    else:
+        print(f"error: {message}", file=sys.stderr)
+    return 2
 
-        return list(load_chain(args.chain).weights)
-    return None
+
+def _load_committee(args: argparse.Namespace) -> Optional[Committee]:
+    """The committee named by the mutually-exclusive weight-source flags
+    (``None`` when the subcommand allows running without one)."""
+    source = weight_source_from_args(
+        weights=args.weights,
+        weights_file=args.weights_file,
+        chain=getattr(args, "chain", None),
+    )
+    if source is None:
+        return None
+    return Committee.from_source(source)
 
 
 # -- solver subcommands (wr / wq / ws) -------------------------------------------------
 
 
 def _run_solver_command(args: argparse.Namespace) -> int:
-    mode = "linear" if args.linear else "full"
+    policy = args.policy or ("swiper-linear" if args.linear else "swiper")
+    if args.linear and args.policy not in (None, "swiper-linear"):
+        return _fail(args, "--linear conflicts with the chosen --policy")
     try:
         if args.problem == "wr":
             problem = WeightRestriction(args.alpha_w, args.alpha_n)
@@ -197,23 +224,25 @@ def _run_solver_command(args: argparse.Namespace) -> int:
             problem = WeightQualification(args.beta_w, args.beta_n)
         else:
             problem = WeightSeparation(args.alpha, args.beta)
-        weights = _load_weights(args)
-        result = solve(problem, weights, mode=mode)
+        committee = _load_committee(args)
+        assert committee is not None  # the source group is required here
+        result = committee.solve(problem, policy, verify=False)
     except (ValueError, ZeroDivisionError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _fail(args, exc)
 
     a = result.assignment
+    mode = "linear" if policy == "swiper-linear" else "full"
     if args.json:
         payload = {
             "problem": args.problem,
             "problem_repr": str(problem),
             "parties": len(a),
             "mode": mode,
-            "total_tickets": a.total,
-            "ticket_bound": _bound_as_json(result.ticket_bound),
-            "max_per_party": a.max_tickets,
-            "ticket_holders": a.holders,
+            "policy": result.policy,
+            "total_tickets": result.achieved,
+            "ticket_bound": _bound_as_json(result.bound),
+            "max_per_party": result.max_tickets,
+            "ticket_holders": result.holders,
             "solve_seconds": result.elapsed_seconds,
         }
         if args.full_output:
@@ -224,10 +253,11 @@ def _run_solver_command(args: argparse.Namespace) -> int:
     print(f"problem         : {problem}")
     print(f"parties (n)     : {len(a)}")
     print(f"mode            : {mode}")
-    print(f"total tickets   : {a.total}")
-    print(f"theorem bound   : {result.ticket_bound}")
-    print(f"max per party   : {a.max_tickets}")
-    print(f"ticket holders  : {a.holders}")
+    print(f"policy          : {result.policy}")
+    print(f"total tickets   : {result.achieved}")
+    print(f"theorem bound   : {result.bound}")
+    print(f"max per party   : {result.max_tickets}")
+    print(f"ticket holders  : {result.holders}")
     print(f"solve time      : {result.elapsed_seconds:.3f}s")
     if args.full_output:
         for i, t in enumerate(a):
@@ -253,21 +283,27 @@ def _run_cluster_command(args: argparse.Namespace) -> int:
     from .protocols.reliable_broadcast import BroadcastParty
     from .protocols.smr import SmrParty
     from .runtime import run_cluster
-    from .weighted.quorum import NominalQuorums, WeightedQuorums
+    from .weighted.quorum import NominalQuorums
 
     try:
-        # Validate eagerly even when the nominal layout ends up ignoring it.
+        # Validate the f_w domain eagerly even when the nominal layout
+        # ends up ignoring it; the *budget* check against f_w is only
+        # meaningful for weighted quorums and stays out of the nominal path.
         f_w = as_fraction(args.f_w)
         if not 0 < f_w < Fraction(1, 2):
-            raise ValueError("--f-w must be in (0, 1/2)")
-        weights = _load_weights(args)
-        if weights is not None:
-            n = args.n if args.n is not None else len(weights)
-            if n != len(weights):
-                raise ValueError(
-                    f"--n {n} does not match the {len(weights)} provided weights"
-                )
-            quorums = WeightedQuorums(weights, f_w)
+            raise ValueError("f_w must be in (0, 1/2)")
+        committee = _load_committee(args)
+        crash = sorted(set(args.crash))
+        if committee is not None:
+            committee.validate(
+                expect_n=args.n,
+                f_w=args.f_w,
+                crashes=crash,
+                payload_size=args.payload_size,
+                epochs=args.epochs,
+            )
+            n = committee.n
+            quorums = committee.quorums(args.f_w)
             layout = "weighted"
         else:
             if args.n is None:
@@ -275,35 +311,24 @@ def _run_cluster_command(args: argparse.Namespace) -> int:
             n = args.n
             if n < 4:
                 raise ValueError("nominal quorums need n >= 4 (n = 3t + 1, t >= 1)")
+            # The egalitarian committee carries the shared feasibility
+            # checks (crash ids in range, workload sanity); the nominal
+            # t-budget below replaces the weighted f_w*W budget check.
+            committee = Committee.uniform(n)
+            committee.validate(
+                crashes=crash,
+                payload_size=args.payload_size,
+                epochs=args.epochs,
+            )
             quorums = NominalQuorums(n=n, t=(n - 1) // 3)
             layout = "nominal"
-        if args.payload_size < 1:
-            raise ValueError("--payload-size must be positive")
-        if args.epochs < 1:
-            raise ValueError("--epochs must be positive")
-        crash = sorted(set(args.crash))
-        bad_crash = [pid for pid in crash if not 0 <= pid < n]
-        if bad_crash:
-            raise ValueError(f"--crash ids out of range: {bad_crash}")
+            if len(crash) > quorums.t:
+                raise ValueError(
+                    f"--crash set of {len(crash)} exceeds the nominal "
+                    f"fault tolerance t = {quorums.t}; quorums can never form"
+                )
 
         live = [pid for pid in range(n) if pid not in crash]
-        if not live:
-            raise ValueError("--crash covers every node; nothing left to run")
-        # Refuse crash sets that make quorums provably unreachable -- the
-        # run would only burn --timeout before failing.
-        if layout == "weighted":
-            crashed_weight = sum(quorums.weights[pid] for pid in crash)
-            budget = quorums.f_w * quorums.total
-            if crashed_weight >= budget:
-                raise ValueError(
-                    f"--crash set holds weight {crashed_weight} >= the "
-                    f"resilience budget f_w*W = {budget}; quorums can never form"
-                )
-        elif len(crash) > quorums.t:
-            raise ValueError(
-                f"--crash set of {len(crash)} exceeds the nominal "
-                f"fault tolerance t = {quorums.t}; quorums can never form"
-            )
         payload_for = lambda pid, epoch: hashlib.sha256(
             f"{args.protocol}|{epoch}|{pid}".encode()
         ).digest() * ((args.payload_size + 31) // 32)
@@ -349,17 +374,18 @@ def _run_cluster_command(args: argparse.Namespace) -> int:
                     for epoch in epochs
                 )
 
+        # The committee sizes the cluster (n == committee.n on both
+        # layouts) and rides along as provenance.
         cluster = run_cluster(
             factory,
-            n,
             transport=args.transport,
             setup=setup,
             stop_when=done,
             timeout=args.timeout,
+            committee=committee,
         )
     except (ValueError, ZeroDivisionError, OSError, TimeoutError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _fail(args, exc)
 
     m = cluster.metrics
     if args.json:
@@ -399,7 +425,8 @@ def _run_cluster_command(args: argparse.Namespace) -> int:
 
 
 def _run_scenario_command(args: argparse.Namespace) -> int:
-    from .scenarios import SCENARIOS, get_scenario, run_scenario, scenario_names
+    from .api import Session
+    from .scenarios import SCENARIOS, get_scenario
 
     if args.list:
         if args.json:
@@ -424,17 +451,16 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
         return 0
 
     if args.name is None:
-        print("error: need a scenario name (or --list)", file=sys.stderr)
-        return 2
+        return _fail(args, "need a scenario name (or --list)")
     try:
         spec = get_scenario(args.name)
         if args.seed is not None:
             spec = spec.with_seed(args.seed)
-        result = run_scenario(spec, backend=args.backend, timeout=args.timeout)
+        session = Session.from_spec(spec, backend=args.backend, timeout=args.timeout)
+        result = session.run()
     except (KeyError, ValueError, TimeoutError, OSError) as exc:
         message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
-        print(f"error: {message}", file=sys.stderr)
-        return 2
+        return _fail(args, message)
 
     if args.save:
         result.write()

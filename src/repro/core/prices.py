@@ -27,6 +27,7 @@ from fractions import Fraction
 from typing import Sequence
 
 __all__ = [
+    "PriceStream",
     "assignment_for_total",
     "total_at_scale",
     "scale_for_total",
@@ -47,6 +48,55 @@ def ticket_price(weight: Fraction, c: Fraction, m: int) -> Fraction:
     return (m - c) / weight
 
 
+class PriceStream:
+    """Memoized prefix of the globally-cheapest ticket sequence for one
+    ``(weights, c)`` pair.
+
+    The solver's binary search probes the family at many different
+    totals; recomputing each probe from scratch repeats the same heap
+    pops (``O(probes * T * log n)`` exact-Fraction divisions on the
+    hottest path).  A stream pops each ticket *once*, caching the party
+    index of the ``k``-th cheapest ticket, so a probe at total ``T``
+    costs only the extension beyond the deepest total seen so far --
+    across a whole binary search, ``O(T_max * log n)`` total.
+
+    Picks are bitwise-identical to :func:`assignment_for_total` (same
+    heap, same deterministic tie-break by party index).
+    """
+
+    def __init__(self, weights: Sequence[Fraction], c: Fraction) -> None:
+        self._weights = weights
+        self._c = c
+        # Heap entries: (price, party index, next ticket ordinal m).
+        # Tuple comparison on exact Fractions breaks ties by party index,
+        # giving the deterministic border-set choice the paper requires.
+        self._heap: list[tuple[Fraction, int, int]] = [
+            ((1 - c) / w, i, 1) for i, w in enumerate(weights) if w > 0
+        ]
+        if not self._heap:
+            raise ValueError("total weight W must be non-zero")
+        heapq.heapify(self._heap)
+        #: party index of the k-th cheapest ticket, extended on demand
+        self._picks: list[int] = []
+
+    def _extend(self, total: int) -> None:
+        heap, picks, c, weights = self._heap, self._picks, self._c, self._weights
+        while len(picks) < total:
+            price, i, m = heapq.heappop(heap)
+            picks.append(i)
+            heapq.heappush(heap, ((m + 1 - c) / weights[i], i, m + 1))
+
+    def assignment(self, total: int) -> list[int]:
+        """The unique family member with exactly ``total`` tickets."""
+        if total < 0:
+            raise ValueError("total must be non-negative")
+        self._extend(total)
+        tickets = [0] * len(self._weights)
+        for i in self._picks[:total]:
+            tickets[i] += 1
+        return tickets
+
+
 def assignment_for_total(
     weights: Sequence[Fraction], c: Fraction, total: int
 ) -> list[int]:
@@ -55,28 +105,14 @@ def assignment_for_total(
     Selects the ``total`` globally cheapest ticket prices using an exact
     rational heap.  Runs in ``O(total * log n)`` exact-arithmetic steps.
     Zero-weight parties never receive tickets (their prices are infinite).
+    One-shot form of :class:`PriceStream`; repeated probes over the same
+    ``(weights, c)`` should share a stream instead.
     """
     if total < 0:
         raise ValueError("total must be non-negative")
-    n = len(weights)
-    tickets = [0] * n
     if total == 0:
-        return tickets
-    # Heap entries: (price, party index, next ticket ordinal m).
-    # Tuple comparison on exact Fractions breaks ties by party index,
-    # giving the deterministic border-set choice the paper requires.
-    heap: list[tuple[Fraction, int, int]] = []
-    for i, w in enumerate(weights):
-        if w > 0:
-            heap.append(((1 - c) / w, i, 1))
-    if not heap:
-        raise ValueError("total weight W must be non-zero")
-    heapq.heapify(heap)
-    for _ in range(total):
-        price, i, m = heapq.heappop(heap)
-        tickets[i] += 1
-        heapq.heappush(heap, ((m + 1 - c) / weights[i], i, m + 1))
-    return tickets
+        return [0] * len(weights)
+    return PriceStream(weights, c).assignment(total)
 
 
 def total_at_scale(weights: Sequence[Fraction], c: Fraction, s: Fraction) -> int:

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Optional, Sequence
 
-from .prices import assignment_for_total
+from .prices import PriceStream
 from .problems import (
     WeightQualification,
     WeightReductionProblem,
@@ -128,6 +128,10 @@ class Swiper:
             use_quick_test=self.use_quick_test,
             linear_mode=(self.mode == "linear"),
         )
+        # One memoized price stream serves every probe: the binary search
+        # revisits overlapping prefixes of the same cheapest-ticket
+        # sequence, so each ticket's exact-Fraction price is computed once.
+        stream = PriceStream(ws, c)
         # Invariant: family member with total `hi` is valid (members at the
         # theorem bound are valid without checking -- Appendix A), family
         # member with total `lo` is invalid (T = 0 is never viable).
@@ -135,13 +139,13 @@ class Swiper:
         probes = 0
         while hi - lo > 1:
             mid = (lo + hi) // 2
-            tickets = assignment_for_total(ws, c, mid)
+            tickets = stream.assignment(mid)
             probes += 1
             if checker.check(tickets, mid):
                 hi = mid
             else:
                 lo = mid
-        final = TicketAssignment(tuple(assignment_for_total(ws, c, hi)))
+        final = TicketAssignment(tuple(stream.assignment(hi)))
         return SwiperResult(
             problem=problem,
             assignment=final,
@@ -194,10 +198,11 @@ def solve_with_constant(
     if not 0 <= const < 1:
         raise ValueError("rounding constant must be in [0, 1)")
     checker = make_checker(effective, ws)
+    stream = PriceStream(ws, const)
     hi = problem.ticket_bound(n)
     probes = 0
     for _ in range(max_doublings):
-        tickets = assignment_for_total(ws, const, hi)
+        tickets = stream.assignment(hi)
         probes += 1
         if checker.check(tickets, hi):
             break
@@ -207,13 +212,13 @@ def solve_with_constant(
     lo = 0
     while hi - lo > 1:
         mid = (lo + hi) // 2
-        tickets = assignment_for_total(ws, const, mid)
+        tickets = stream.assignment(mid)
         probes += 1
         if checker.check(tickets, mid):
             hi = mid
         else:
             lo = mid
-    final = TicketAssignment(tuple(assignment_for_total(ws, const, hi)))
+    final = TicketAssignment(tuple(stream.assignment(hi)))
     return SwiperResult(
         problem=problem,
         assignment=final,

@@ -71,15 +71,24 @@ class Cluster:
     def __init__(
         self,
         party_factory: Callable[[int], Party],
-        n: int,
+        n: Optional[int] = None,
         *,
         transport: Union[str, Transport] = "inproc",
         registry: Optional[CodecRegistry] = None,
         faults: Optional[FaultController] = None,
+        committee=None,
     ) -> None:
+        # A committee (repro.api.committee.Committee) supplies the node
+        # count when n is omitted and is kept for provenance; drivers
+        # hosting virtual users may still size the cluster explicitly.
+        if n is None:
+            if committee is None:
+                raise ValueError("cluster needs n or a committee")
+            n = committee.n
         if n < 1:
             raise ValueError("cluster needs at least one node")
         self.n = n
+        self.committee = committee
         self.registry = registry or default_registry()
         self.faults = faults or FaultController()
         self.metrics = RuntimeMetrics()
@@ -220,7 +229,7 @@ class Cluster:
 
 def run_cluster(
     party_factory: Callable[[int], Party],
-    n: int,
+    n: Optional[int] = None,
     *,
     transport: Union[str, Transport] = "inproc",
     setup: Optional[Callable[[Cluster], None]] = None,
@@ -228,6 +237,7 @@ def run_cluster(
     registry: Optional[CodecRegistry] = None,
     faults: Optional[FaultController] = None,
     timeout: float = 30.0,
+    committee=None,
 ) -> Cluster:
     """Synchronous convenience driver: start, setup, run, stop.
 
@@ -239,7 +249,12 @@ def run_cluster(
 
     async def _drive() -> Cluster:
         cluster = Cluster(
-            party_factory, n, transport=transport, registry=registry, faults=faults
+            party_factory,
+            n,
+            transport=transport,
+            registry=registry,
+            faults=faults,
+            committee=committee,
         )
         # One deadline covers the stop condition AND the post-condition
         # drain, so the caller's timeout bounds total wall time.

@@ -83,9 +83,15 @@ class ProtocolDriver:
     #: message counts match across backends (phase messages sent exactly once)
     count_comparable = True
 
-    def __init__(self, spec: ScenarioSpec, weights: Sequence[int]) -> None:
+    #: ``spec.f_w`` governs this driver's quorums, so crash plans are
+    #: pre-checked against the f_w*W resilience budget (a crash set at or
+    #: above it could never complete and would only burn the timeout)
+    uses_f_w = True
+
+    def __init__(self, spec: ScenarioSpec, committee) -> None:
         self.spec = spec
-        self.weights = list(weights)
+        self.committee = committee
+        self.weights = committee.int_weights
         self.live_real = tuple(
             pid for pid in range(len(self.weights)) if pid not in spec.faults.crashes
         )
@@ -116,11 +122,9 @@ class ProtocolDriver:
 class RbcDriver(ProtocolDriver):
     """Weighted Bracha reliable broadcast; the lowest live party sends."""
 
-    def __init__(self, spec: ScenarioSpec, weights: Sequence[int]) -> None:
-        super().__init__(spec, weights)
-        from ..weighted.quorum import WeightedQuorums
-
-        self.quorums = WeightedQuorums(self.weights, spec.f_w)
+    def __init__(self, spec: ScenarioSpec, committee) -> None:
+        super().__init__(spec, committee)
+        self.quorums = committee.quorums(spec.f_w)
         self.sender = min(self.live_real)
         self.payload = _payload(spec, self.sender, 0)
 
@@ -156,12 +160,11 @@ class SmrDriver(ProtocolDriver):
     or after ``heal_at``.
     """
 
-    def __init__(self, spec: ScenarioSpec, weights: Sequence[int]) -> None:
-        super().__init__(spec, weights)
+    def __init__(self, spec: ScenarioSpec, committee) -> None:
+        super().__init__(spec, committee)
         from ..protocols.common_coin import deterministic_coin
-        from ..weighted.quorum import WeightedQuorums
 
-        self.quorums = WeightedQuorums(self.weights, spec.f_w)
+        self.quorums = committee.quorums(spec.f_w)
         self.coin = deterministic_coin(f"{spec.name}|{spec.seed}")
         # Reject specs with nothing to certify: a vacuously-true done()
         # would report a successful run in which no epoch committed.
@@ -224,9 +227,11 @@ class VabaDriver(ProtocolDriver):
     """
 
     count_comparable = False
+    #: resilience comes from the WR(f_n - eps, f_n) params, not spec.f_w
+    uses_f_w = False
 
-    def __init__(self, spec: ScenarioSpec, weights: Sequence[int]) -> None:
-        super().__init__(spec, weights)
+    def __init__(self, spec: ScenarioSpec, committee) -> None:
+        super().__init__(spec, committee)
         from ..protocols.vaba import WeightedVabaRunner
         from ..weighted.transform import black_box_setup
 
@@ -276,8 +281,8 @@ class CheckpointDriver(ProtocolDriver):
     """Threshold-signed checkpoints over a blunt WR(f_w, 1/2) setup; one
     checkpoint per workload epoch, ``mode`` / ``beta`` via params."""
 
-    def __init__(self, spec: ScenarioSpec, weights: Sequence[int]) -> None:
-        super().__init__(spec, weights)
+    def __init__(self, spec: ScenarioSpec, committee) -> None:
+        super().__init__(spec, committee)
         from ..crypto.group import TEST_GROUP_256
         from ..crypto.threshold_sig import ThresholdSignatureScheme
         from ..weighted.transform import blunt_setup
@@ -438,7 +443,7 @@ def _fault_plan(
 
 
 def run_scenario(
-    spec: ScenarioSpec, *, backend: str = "sim", timeout: float = 60.0
+    spec: ScenarioSpec, *, backend: str = "sim", timeout: float = 60.0, committee=None
 ) -> ScenarioResult:
     """Execute ``spec`` on ``backend`` and return the unified record.
 
@@ -446,36 +451,39 @@ def run_scenario(
     time), ``"inproc"`` (live asyncio queues), or ``"tcp"`` (live
     sockets).  Runtime backends raise ``TimeoutError`` when the scenario
     does not complete within ``timeout``; the sim instead runs to
-    quiescence and reports ``completed=False``.
+    quiescence and reports ``completed=False``.  ``committee`` lets a
+    caller that already resolved the spec's weights (e.g. a
+    :class:`repro.api.Session`) skip re-resolving the source.
     """
+    from ..api.committee import Committee
+
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; one of {BACKENDS}")
-    weights = spec.weights.materialize(spec.seed)
-    referenced = set(spec.faults.crashes)
-    referenced.update(pid for group in spec.faults.partition for pid in group)
-    referenced.update(
-        pid for (src, dst, _) in spec.faults.link_delays for pid in (src, dst)
+    if committee is None:
+        committee = Committee.from_weight_spec(spec.weights, seed=spec.seed)
+    driver_cls = _DRIVERS[spec.protocol]
+    committee.validate(
+        f_w=spec.f_w if driver_cls.uses_f_w else None,
+        crashes=spec.faults.crashes,
+        partition=spec.faults.partition,
+        link_delays=spec.faults.link_delays,
+        payload_size=spec.workload.payload_size,
+        epochs=spec.workload.epochs,
     )
-    bad = sorted(pid for pid in referenced if not 0 <= pid < len(weights))
-    if bad:
-        raise ValueError(
-            f"fault plan references pids {bad} out of range for {len(weights)} parties"
-        )
-    driver = _DRIVERS[spec.protocol](spec, weights)
+    driver = driver_cls(spec, committee)
     faults, crashed, groups, links = _fault_plan(spec, driver)
     live_nodes = tuple(
         nid for nid in range(driver.n_nodes) if nid not in set(crashed)
     )
     if not live_nodes:
         raise ValueError("fault plan crashes every node; nothing left to run")
-    weights_digest = _digest(repr(weights).encode())
 
     common = dict(
         spec=spec,
         backend=backend,
-        n_real=len(weights),
+        n_real=committee.n,
         n_nodes=driver.n_nodes,
-        weights_digest=weights_digest,
+        weights_digest=committee.weights_digest,
         count_comparable=driver.count_comparable,
     )
 
@@ -508,6 +516,7 @@ def _run_sim(spec, driver, faults, crashed, groups, links, live_nodes, common):
         delay_model=UniformDelay(spec.net.delay_low, spec.net.delay_high),
         seed=spec.seed,
         faults=faults,
+        committee=driver.committee,
     )
     for nid in crashed:
         world.party(nid).crash()
@@ -571,6 +580,7 @@ def _run_runtime(
         setup=setup,
         stop_when=lambda c: driver.done(holder["ctx"]),
         timeout=timeout,
+        committee=driver.committee,
     )
     ctx = holder["ctx"]
     m = cluster.metrics

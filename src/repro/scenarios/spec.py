@@ -67,29 +67,20 @@ class WeightSpec:
         elif self.n < 1 or self.total < self.n:
             raise ValueError("generated weights need n >= 1 and total >= n")
 
-    def materialize(self, seed: int) -> list[int]:
-        """The concrete integer weight vector (deterministic in ``seed``)."""
-        from ..datasets import chains, synthetic
+    def to_source(self):
+        """This spec as a :class:`repro.api.weight_source.WeightSource`
+        (the canonical resolution recipe; ``materialize`` delegates here)."""
+        from ..api.weight_source import ChainWeights, InlineWeights, SyntheticWeights
 
         if self.kind == "explicit":
-            return list(self.values)
+            return InlineWeights(self.values)
         if self.kind == "chain":
-            snapshot = chains.load_chain(self.chain)
-            heaviest = sorted(snapshot.weights, reverse=True)[: self.n]
-            return list(heaviest)
-        if self.kind == "constant":
-            return synthetic.constant_weights(self.n, self.total)
-        if self.kind == "uniform":
-            return synthetic.uniform_weights(self.n, self.total, seed=seed)
-        if self.kind == "zipf":
-            return synthetic.zipf_weights(self.n, self.total, s=self.skew, seed=seed)
-        if self.kind == "pareto":
-            return synthetic.pareto_weights(self.n, self.total, alpha=self.skew, seed=seed)
-        if self.kind == "lognormal":
-            return synthetic.lognormal_weights(self.n, self.total, sigma=self.skew, seed=seed)
-        if self.kind == "exponential":
-            return synthetic.exponential_weights(self.n, self.total, rate=self.skew, seed=seed)
-        raise AssertionError(f"unhandled kind {self.kind!r}")
+            return ChainWeights(self.chain, n=self.n)
+        return SyntheticWeights(self.kind, self.n, self.total, skew=self.skew)
+
+    def materialize(self, seed: int) -> list[int]:
+        """The concrete integer weight vector (deterministic in ``seed``)."""
+        return self.to_source().resolve(seed)
 
 
 @dataclass(frozen=True)

@@ -15,11 +15,19 @@ __all__ = ["World", "build_world"]
 
 @dataclass
 class World:
-    """A simulator + network + parties bundle."""
+    """A simulator + network + parties bundle.
+
+    ``committee`` records the weighted party set the world was built for
+    (a :class:`repro.api.committee.Committee`), when the caller provided
+    one -- provenance for records and a size default for ``build_world``.
+    Note the VABA driver hosts *virtual users*, so ``len(parties)`` may
+    exceed ``committee.n``.
+    """
 
     simulator: Simulator
     network: Network
     parties: list[Party]
+    committee: Optional[object] = None
 
     def run(
         self,
@@ -45,19 +53,26 @@ class World:
 
 def build_world(
     party_factory: Callable[[int], Party],
-    n: int,
+    n: Optional[int] = None,
     *,
     delay_model: Optional[DelayModel] = None,
     seed: int = 0,
     faults=None,
+    committee=None,
 ) -> World:
     """Create ``n`` parties via ``party_factory(pid)`` on a fresh network.
 
     ``faults`` is an optional fault plan consulted at the delivery point
     (see :class:`repro.sim.network.Network`); the scenario harness passes
     the same :class:`~repro.runtime.faults.FaultController` it would hand
-    to a live cluster.
+    to a live cluster.  ``committee`` (a
+    :class:`repro.api.committee.Committee`) supplies the party count when
+    ``n`` is omitted and is kept on the world for provenance.
     """
+    if n is None:
+        if committee is None:
+            raise ValueError("build_world needs n or a committee")
+        n = committee.n
     simulator = Simulator()
     network = Network(simulator, delay_model or UniformDelay(), seed=seed, faults=faults)
     parties = []
@@ -65,4 +80,6 @@ def build_world(
         party = party_factory(pid)
         network.register(party)
         parties.append(party)
-    return World(simulator=simulator, network=network, parties=parties)
+    return World(
+        simulator=simulator, network=network, parties=parties, committee=committee
+    )

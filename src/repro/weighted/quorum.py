@@ -85,6 +85,14 @@ class WeightedQuorums(QuorumPolicy):
         if not 0 < self.f_w < Fraction(1, 2):
             raise ValueError("f_w must be in (0, 1/2)")
 
+    @classmethod
+    def for_committee(
+        cls, committee, f_w: Number = Fraction(1, 3)
+    ) -> "WeightedQuorums":
+        """Quorums over a :class:`repro.api.Committee` (duck-typed:
+        anything exposing ``weights``) -- the facade's bridge point."""
+        return cls(committee.weights, f_w)
+
     @property
     def total(self) -> Fraction:
         return sum(self.weights, start=Fraction(0))

@@ -1,0 +1,125 @@
+"""The Session runner: committee + policy + backend + protocol.
+
+The acceptance bar: ``Session.from_spec(spec).run()`` on the sim backend
+reproduces the pre-refactor ``run_scenario(spec)`` record byte for byte.
+"""
+
+import pytest
+
+from repro.api import BackendSpec, Committee, Session
+from repro.core import WeightRestriction
+from repro.scenarios import get_scenario, run_scenario
+
+#: the two registry scenarios pinned by the golden-record equivalence
+#: requirement (one fault-free, one with a fault plan)
+GOLDEN = ("uniform-rbc", "crash-f-rbc")
+
+
+class TestBackendSpec:
+    def test_defaults(self):
+        spec = BackendSpec()
+        assert spec.name == "sim" and spec.timeout == 60.0
+
+    def test_of_coerces_names(self):
+        assert BackendSpec.of("inproc").name == "inproc"
+        spec = BackendSpec("tcp", timeout=5.0)
+        assert BackendSpec.of(spec) is spec
+
+    def test_rejects_unknown_backend_and_bad_timeout(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            BackendSpec("quic")
+        with pytest.raises(ValueError, match="timeout"):
+            BackendSpec("sim", timeout=0)
+
+
+class TestGoldenRecordEquivalence:
+    @pytest.mark.parametrize("name", GOLDEN)
+    def test_sim_record_byte_identical_to_run_scenario(self, name):
+        spec = get_scenario(name)
+        legacy = run_scenario(spec, backend="sim")
+        facade = Session.from_spec(spec, backend="sim").run()
+        assert facade.record_json() == legacy.record_json()
+        assert facade.record() == legacy.record()
+
+    def test_seeded_specs_stay_identical(self):
+        spec = get_scenario("uniform-rbc").with_seed(41)
+        assert (
+            Session.from_spec(spec).run().record_json()
+            == run_scenario(spec, backend="sim").record_json()
+        )
+
+
+class TestSession:
+    def test_from_spec_carries_committee_and_spec(self):
+        spec = get_scenario("zipf-stake-smr")
+        session = Session.from_spec(spec, backend="sim")
+        assert session.committee.n == spec.weights.n
+        assert session.base_spec is spec
+        assert session.to_spec() is spec
+        assert session.committee.int_weights == spec.weights.materialize(spec.seed)
+
+    def test_direct_session_runs_on_sim(self):
+        committee = Committee.from_weights((40, 25, 15, 10, 5, 3, 1, 1))
+        result = Session(committee=committee, protocol="rbc", name="direct-rbc").run()
+        assert result.completed
+        assert result.n_real == committee.n
+        assert len(set(result.decided.values())) == 1
+
+    def test_direct_session_pins_resolved_weights(self):
+        # A sampled committee executes as an explicit vector: rerunning
+        # the same session must not resample.
+        committee = Committee.synthetic("zipf", n=8, total=800, skew=1.2, seed=5)
+        session = Session(committee=committee, protocol="rbc", name="zipf-pin")
+        spec = session.to_spec()
+        assert spec.weights.kind == "explicit"
+        assert list(spec.weights.values) == committee.int_weights
+        assert spec.seed == committee.seed == 5
+        assert session.run().record_json() == session.run().record_json()
+
+    def test_with_backend_switches_execution(self):
+        spec = get_scenario("uniform-rbc")
+        session = Session.from_spec(spec, backend="sim")
+        live = session.with_backend("inproc", timeout=30.0)
+        assert live.backend.name == "inproc" and live.backend.timeout == 30.0
+        sim_result = session.run()
+        live_result = live.run()
+        assert live_result.completed
+        assert sim_result.decided == live_result.decided
+
+    def test_infeasible_session_rejected_via_committee_validate(self):
+        from repro.scenarios import FaultSpec
+
+        committee = Committee.from_weights((5, 5, 5, 5))
+        session = Session(
+            committee=committee,
+            protocol="rbc",
+            name="bad-crash",
+            faults=FaultSpec(crashes=(9,)),
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            session.run()
+
+    def test_over_budget_crash_plan_rejected_up_front(self):
+        # Crashing weight >= f_w*W can never reach a quorum; the run must
+        # fail fast at validation instead of burning the backend timeout
+        # (or, on sim, silently reporting completed=False).
+        from repro.scenarios import FaultSpec
+
+        session = Session(
+            committee=Committee.from_weights((10, 10, 10)),
+            protocol="rbc",
+            name="over-budget",
+            f_w="1/3",
+            faults=FaultSpec(crashes=(0,)),
+        )
+        with pytest.raises(ValueError, match="quorums can never form"):
+            session.run()
+
+    def test_session_solve_uses_policy(self):
+        committee = Committee.from_weights((40, 25, 15, 10, 5, 3, 1, 1))
+        session = Session(committee=committee, protocol="rbc", policy="swiper-linear")
+        result = session.solve(WeightRestriction("1/3", "1/2"))
+        assert result.policy == "swiper-linear"
+        assert result.verdict == "valid"
+        override = session.solve(WeightRestriction("1/3", "1/2"), policy="swiper")
+        assert override.policy == "swiper"

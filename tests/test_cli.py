@@ -126,6 +126,64 @@ class TestJsonOutput:
         assert "error" in capsys.readouterr().err
 
 
+class TestPolicySelection:
+    def test_policy_flag_selects_registry_entry(self, capsys):
+        code = main(
+            [
+                "wr", "--alpha-w", "1/3", "--alpha-n", "1/2",
+                "--weights", "40", "25", "15", "10", "--policy", "milp", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "milp"
+        assert payload["total_tickets"] >= 1
+
+    def test_linear_flag_maps_to_linear_policy(self, capsys):
+        code = main(
+            ["wr", "--alpha-w", "1/3", "--alpha-n", "1/2",
+             "--weights", "40", "25", "15", "--linear", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "swiper-linear"
+        assert payload["mode"] == "linear"
+
+    def test_linear_conflicts_with_other_policy(self, capsys):
+        code = main(
+            ["wr", "--alpha-w", "1/3", "--alpha-n", "1/2",
+             "--weights", "1", "2", "--linear", "--policy", "milp"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestUnifiedJsonErrors:
+    """Infeasible combos: status 2 and one {"error": ...} shape everywhere."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["cluster", "rbc", "--n", "5", "--weights", "1", "2", "--json"],
+            ["cluster", "rbc", "--weights", "40", "25", "15", "10",
+             "--crash", "0", "--json"],
+            ["cluster", "smr", "--n", "4", "--f-w", "2/3", "--json"],
+            ["scenario", "nope", "--json"],
+            ["scenario", "--json"],
+            ["wr", "--alpha-w", "1/2", "--alpha-n", "1/3", "--weights", "1", "--json"],
+        ],
+        ids=["n-mismatch", "crash-budget", "bad-f-w", "unknown-scenario",
+             "missing-name", "bad-problem"],
+    )
+    def test_json_error_shape(self, argv, capsys):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        payload = json.loads(captured.err)
+        assert set(payload) == {"error"}
+        assert payload["error"]
+
+
 class TestClusterCommand:
     def test_rbc_inproc_weighted(self, capsys):
         code = main(
@@ -148,6 +206,18 @@ class TestClusterCommand:
         assert payload["metrics"]["messages"] > 0
         assert payload["metrics"]["bytes"] > 0
         assert payload["metrics"]["elapsed_seconds"] > 0
+
+    def test_nominal_crash_not_subject_to_weighted_budget(self, capsys):
+        # The f_w*W budget check is a weighted-quorum concept; nominal
+        # layouts are governed by t = (n-1)//3 only, so a small --f-w
+        # must not reject a crash set the nominal layout tolerates.
+        code = main(
+            ["cluster", "rbc", "--n", "7", "--f-w", "1/10", "--crash", "0", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["layout"] == "nominal"
+        assert payload["crashed"] == [0]
 
     def test_rbc_with_crash(self, capsys):
         code = main(

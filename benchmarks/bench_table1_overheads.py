@@ -22,7 +22,7 @@ import pytest
 
 from repro.analysis.report import write_csv_rows, write_text
 from repro.analysis.table1 import build_table1, format_table1
-from repro.codes import Fragment, ReedSolomon
+from repro.codes import BlockFragment, ReedSolomon
 from repro.protocols.avid import AvidParty
 from repro.protocols.ec_broadcast import EcParty, GarbageEcParty, OnlineDecoder
 from repro.sim import build_world
@@ -65,7 +65,9 @@ def _run_avid(weighted: bool, seed=0):
         quorums = NominalQuorums(n=N, t=t)
     world = build_world(lambda pid: AvidParty(pid, quorums), N, seed=seed)
     rng = random.Random(seed)
-    data = [rng.randrange(256) for _ in range(code.k)]
+    # One stripe's worth of payload keeps the work counters directly
+    # comparable with the paper's per-codeword accounting.
+    data = rng.randbytes(code.k * code.field.sym_bytes)
     commitment = world.party(0).disperse(data, code, vmap)
     world.run()
     world.party(N - 1).retrieve(commitment)
@@ -119,8 +121,10 @@ def _run_ec(weighted: bool, seed=1):
         vmap = VirtualUserMap([1] * N)
     corrupt = heaviest_under(WEIGHTS, "1/3")
     rng = random.Random(seed)
-    data = [rng.randrange(code.field.size) for _ in range(code.k)]
-    fragments = code.encode(data)
+    data = rng.randbytes(code.k * code.field.sym_bytes)
+    fragments = [
+        BlockFragment(j, b) for j, b in enumerate(code.encode_blocks(data))
+    ]
     data_hash = OnlineDecoder.hash_data(data)
 
     def factory(pid):
@@ -130,7 +134,7 @@ def _run_ec(weighted: bool, seed=1):
     world = build_world(factory, N, seed=seed)
     for pid in range(N):
         mine = [fragments[v] for v in vmap.virtual_ids(pid)]
-        world.party(pid).install(mine, data_hash)
+        world.party(pid).install(mine, data_hash, len(data))
     reconstructor = next(p for p in range(N) if p not in corrupt)
     world.party(reconstructor).reconstruct()
     world.run()
@@ -141,13 +145,14 @@ def _run_ec(weighted: bool, seed=1):
     # online run above depends on arrival luck; this is the structural
     # cost the paper's computation column models.
     probe = ReedSolomon(k=code.k, m=code.m, field=code.field)
-    garbled = [
-        Fragment(f.index, (f.value ^ 0x2A) or 1)
+    garble = bytes(b ^ 0x2A for b in range(256))
+    garbled = {
+        f.index: f.block.translate(garble)
         if vmap.owner(f.index) in corrupt
-        else f
+        else f.block
         for f in fragments
-    ]
-    assert probe.decode_errors(garbled) == data
+    }
+    assert probe.decode_errors_blocks(garbled, len(data)) == data
     return {
         "fragments": code.m,
         "data_shards": code.k,

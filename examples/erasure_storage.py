@@ -35,8 +35,8 @@ def main() -> None:
     world = build_world(lambda pid: AvidParty(pid, quorums), n, seed=11)
 
     rng = random.Random(0)
-    data = [rng.randrange(256) for _ in range(code.k)]
-    print(f"\ndispersing {len(data)} data symbols...")
+    data = rng.randbytes(4 * code.k)  # a few stripes of payload
+    print(f"\ndispersing a {len(data)}-byte payload as block fragments...")
     commitment = world.party(0).disperse(data, code, setup.vmap)
     world.run()
     stored = sum(1 for p in world.parties if p.stored_commitment == commitment)

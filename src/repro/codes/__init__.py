@@ -1,17 +1,27 @@
-"""Erasure / error-correcting codes: GF(2^w) arithmetic, Reed-Solomon
-encoding with erasure (Lagrange) and error (Gao) decoding, and
-Berlekamp-Massey LFSR synthesis (paper, Section 5)."""
+"""Erasure / error-correcting codes: GF(2^w) arithmetic with a
+vectorized block kernel, Reed-Solomon encoding with erasure (Lagrange)
+and error (Gao) decoding -- per-symbol reference path plus the
+block-striped engine -- and Berlekamp-Massey LFSR synthesis (paper,
+Section 5)."""
 
 from .berlekamp import berlekamp_massey, chien_search, lfsr_generate
-from .gf2m import GF256, GF65536, GF2m
-from .reed_solomon import DecodingFailure, Fragment, ReedSolomon, min_message_symbols
+from .gf2m import GF256, GF65536, GF2m, xor_blocks
+from .reed_solomon import (
+    BlockFragment,
+    DecodingFailure,
+    Fragment,
+    ReedSolomon,
+    min_message_symbols,
+)
 
 __all__ = [
     "GF2m",
     "GF256",
     "GF65536",
+    "xor_blocks",
     "ReedSolomon",
     "Fragment",
+    "BlockFragment",
     "DecodingFailure",
     "min_message_symbols",
     "berlekamp_massey",

@@ -9,6 +9,7 @@ so the coefficient computation is exposed separately.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 from .field import PrimeField
@@ -92,7 +93,20 @@ def lagrange_coefficients_at(
     """Lagrange basis coefficients ``lambda_i`` such that
     ``f(point) = sum_i lambda_i * f(xs[i])`` for every polynomial ``f`` of
     degree below ``len(xs)``.  The ``xs`` must be distinct field elements.
+
+    Results are LRU-cached by ``(field, xs, point)``: threshold-signature
+    consumers combine share after share with the *same* quorum index set
+    (checkpointing certifies every epoch against one stabilized quorum),
+    so the ``O(k^2)`` coefficient computation runs once per quorum shape
+    instead of once per combine.
     """
+    return list(_lagrange_coefficients_cached(field, tuple(xs), point))
+
+
+@lru_cache(maxsize=256)
+def _lagrange_coefficients_cached(
+    field: PrimeField, xs: tuple[int, ...], point: int
+) -> tuple[int, ...]:
     if len(set(x % field.modulus for x in xs)) != len(xs):
         raise ValueError("interpolation points must be distinct")
     coeffs = []
@@ -104,7 +118,7 @@ def lagrange_coefficients_at(
             num = num * ((point - xj) % field.modulus) % field.modulus
             den = den * ((xi - xj) % field.modulus) % field.modulus
         coeffs.append(field.mul(num, field.inv(den)))
-    return coeffs
+    return tuple(coeffs)
 
 
 def interpolate_at(

@@ -7,6 +7,15 @@ fragments consistent echo the commitment; a storage quorum of echoes
 makes the data *stored* (retrievable despite ``f`` faults).  Retrieval
 collects hash-verified fragments and erasure-decodes.
 
+Payloads are arbitrary byte strings carried as *block fragments*: the
+payload is striped column-wise by the vectorized coding engine
+(:meth:`~repro.codes.reed_solomon.ReedSolomon.encode_blocks`) so each
+party holds one contiguous byte block per ticket, end to end -- on the
+discrete-event simulator and on the live runtime, whose codec ships the
+blocks through its bytes fast path without per-symbol marshalling.
+Retrieval decodes with the LRU-cached Lagrange basis, so repeated
+retrievals against the same storage quorum skip interpolation setup.
+
 Nominal layout: ``(t+1, n)`` coding, one fragment per party, storage
 quorum ``2t + 1``.  Weighted layout (``qualification_setup``): ``(ceil(
 beta_n T), T)`` coding, ``t_i`` fragments for party ``i``, storage quorum
@@ -21,20 +30,36 @@ import hashlib
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
-from ..codes.reed_solomon import Fragment, ReedSolomon
+from ..codes.reed_solomon import BlockFragment, ReedSolomon
 from ..sim.process import Party
 from ..weighted.quorum import QuorumPolicy
 from ..weighted.virtual import VirtualUserMap
 
-__all__ = ["AvidDisperse", "AvidEcho", "AvidRetrieveRequest", "AvidFragments", "AvidParty", "fragment_digest"]
+__all__ = [
+    "AvidDisperse",
+    "AvidEcho",
+    "AvidRetrieveRequest",
+    "AvidFragments",
+    "AvidParty",
+    "fragment_digest",
+    "commitment_from_hashes",
+]
 
 
-def fragment_digest(fragments: Sequence[Fragment]) -> bytes:
+def fragment_digest(fragments: Sequence[BlockFragment]) -> bytes:
     """Commitment: hash of the per-fragment hash list (all ``m`` fragments)."""
+    return commitment_from_hashes(_hash_block(f.block) for f in fragments)
+
+
+def commitment_from_hashes(hashes) -> bytes:
+    """The commitment as a pure function of the hash list -- storers use
+    this to check that a dealer's commitment actually binds the hash list
+    it shipped (otherwise an equivocating dealer could get one commitment
+    stored against two different lists, breaking retrievability)."""
     h = hashlib.sha256()
-    for f in fragments:
-        h.update(f.index.to_bytes(4, "big"))
-        h.update(hashlib.sha256(f.value.to_bytes(4, "big")).digest())
+    for index, fragment_hash in enumerate(hashes):
+        h.update(index.to_bytes(4, "big"))
+        h.update(fragment_hash)
     return h.digest()
 
 
@@ -42,14 +67,16 @@ def fragment_digest(fragments: Sequence[Fragment]) -> bytes:
 class AvidDisperse:
     """Dealer -> party: the party's fragments, the full hash list, metadata."""
 
-    fragments: tuple[Fragment, ...]
+    fragments: tuple[BlockFragment, ...]
     hash_list: tuple[bytes, ...]
     commitment: bytes
     data_shards: int
     total_shards: int
+    original_length: int
 
     def wire_size(self) -> int:
-        return 64 + 4 * len(self.fragments) + 32 * len(self.hash_list)
+        payload = sum(4 + len(f.block) for f in self.fragments)
+        return 64 + payload + 32 * len(self.hash_list)
 
 
 @dataclass(frozen=True)
@@ -77,14 +104,18 @@ class AvidFragments:
     """Party -> retriever: stored fragments."""
 
     commitment: bytes
-    fragments: tuple[Fragment, ...]
+    fragments: tuple[BlockFragment, ...]
 
     def wire_size(self) -> int:
-        return 64 + 32 + 4 * len(self.fragments)
+        return 64 + 32 + sum(4 + len(f.block) for f in self.fragments)
 
 
-def _hash_fragment(f: Fragment) -> bytes:
-    return hashlib.sha256(f.value.to_bytes(4, "big")).digest()
+def _hash_block(block: bytes) -> bytes:
+    return hashlib.sha256(block).digest()
+
+
+def _hash_fragment(f: BlockFragment) -> bytes:
+    return _hash_block(f.block)
 
 
 class AvidParty(Party):
@@ -103,13 +134,14 @@ class AvidParty(Party):
         self.on_stored = on_stored
         self.on_retrieved = on_retrieved
         self.stored_commitment: Optional[bytes] = None
-        self.my_fragments: tuple[Fragment, ...] = ()
+        self.my_fragments: tuple[BlockFragment, ...] = ()
         self.hash_list: tuple[bytes, ...] = ()
         self.data_shards = 0
         self.total_shards = 0
-        self.retrieved: Optional[list[int]] = None
+        self.original_length = 0
+        self.retrieved: Optional[bytes] = None
         self._echo_senders: dict[bytes, set[int]] = {}
-        self._collected: dict[int, Fragment] = {}
+        self._collected: dict[int, bytes] = {}
         self.on(AvidDisperse, self._handle_disperse)
         self.on(AvidEcho, self._handle_echo)
         self.on(AvidRetrieveRequest, self._handle_retrieve_request)
@@ -118,18 +150,21 @@ class AvidParty(Party):
     # -- dealer side --------------------------------------------------------------
     def disperse(
         self,
-        data: Sequence[int],
+        data: bytes,
         code: ReedSolomon,
         vmap: VirtualUserMap,
     ) -> bytes:
-        """Encode ``data`` and send each party its fragments.
+        """Encode the ``data`` payload and send each party its fragments.
 
         ``vmap`` maps fragment indices to parties (one fragment per
         virtual user); the nominal case uses the identity assignment.
         Returns the commitment.
         """
-        fragments = code.encode(list(data))
-        self.bump("encode_symbols", code.m * code.k)
+        data = bytes(data)
+        blocks = code.encode_blocks(data)
+        fragments = [BlockFragment(j, b) for j, b in enumerate(blocks)]
+        stripes = code.stripe_count(len(data))
+        self.bump("encode_symbols", code.m * code.k * max(stripes, 1))
         hash_list = tuple(_hash_fragment(f) for f in fragments)
         commitment = fragment_digest(fragments)
         assert self.network is not None
@@ -143,19 +178,36 @@ class AvidParty(Party):
                     commitment=commitment,
                     data_shards=code.k,
                     total_shards=code.m,
+                    original_length=len(data),
                 ),
             )
         return commitment
 
     # -- storer side -----------------------------------------------------------------
     def _handle_disperse(self, message: AvidDisperse, sender: int) -> None:
+        # Geometry sanity before any indexing or arithmetic: a Byzantine
+        # dealer controls every field of this message.
+        if len(message.hash_list) != message.total_shards:
+            return
+        if commitment_from_hashes(message.hash_list) != message.commitment:
+            return  # commitment does not bind this hash list
+        expected = self._expected_block_length(
+            message.data_shards, message.total_shards, message.original_length
+        )
+        if expected is None:
+            return  # invalid (k, m, length) geometry; refuse to echo
         for f in message.fragments:
+            if not 0 <= f.index < len(message.hash_list):
+                return  # inconsistent dealer; refuse to echo
+            if len(f.block) != expected:
+                return  # inconsistent dealer; refuse to echo
             if _hash_fragment(f) != message.hash_list[f.index]:
                 return  # inconsistent dealer; refuse to echo
         self.my_fragments = message.fragments
         self.hash_list = message.hash_list
         self.data_shards = message.data_shards
         self.total_shards = message.total_shards
+        self.original_length = message.original_length
         self.broadcast(AvidEcho(message.commitment))
 
     def _handle_echo(self, message: AvidEcho, sender: int) -> None:
@@ -184,13 +236,40 @@ class AvidParty(Party):
     def _handle_fragments(self, message: AvidFragments, sender: int) -> None:
         if self.retrieved is not None or not self.hash_list:
             return
+        # A Byzantine dealer could have handed different parties blocks
+        # of different lengths, each consistent with its own hash-list
+        # entry; collecting only the expected length keeps the decode
+        # below from ever seeing an inconsistent fragment set.
+        expected = self._expected_block_length(
+            self.data_shards, self.total_shards, self.original_length
+        )
         for f in message.fragments:
-            if f.index < len(self.hash_list) and _hash_fragment(f) == self.hash_list[f.index]:
-                self._collected[f.index] = f
+            if (
+                0 <= f.index < len(self.hash_list)
+                and len(f.block) == expected
+                and _hash_fragment(f) == self.hash_list[f.index]
+            ):
+                self._collected[f.index] = f.block
         if len(self._collected) >= self.data_shards:
             code = ReedSolomon(k=self.data_shards, m=self.total_shards)
-            data = code.decode_erasures(list(self._collected.values()))
+            data = code.decode_erasures_blocks(
+                self._collected, self.original_length
+            )
             self.bump("decode_symbols", code.work_counter)
             self.retrieved = data
             if self.on_retrieved is not None:
-                self.on_retrieved(self.pid, bytes(0))
+                self.on_retrieved(self.pid, data)
+
+    @staticmethod
+    def _expected_block_length(k: int, m: int, original_length: int) -> Optional[int]:
+        """Fragment block length the (k, m) geometry dictates for the
+        advertised payload length; ``None`` when the geometry itself is
+        invalid (delegates validation and field selection to
+        :class:`ReedSolomon` rather than duplicating its rules)."""
+        if original_length < 0:
+            return None
+        try:
+            code = ReedSolomon(k=k, m=m)
+        except ValueError:
+            return None
+        return code.block_length(original_length)

@@ -13,6 +13,13 @@ Two flavors:
   arrived, upgrading the access structure to the weighted threshold
   ``A_w(beta)`` at the cost of exactly one message delay per checkpoint
   (the paper's claim, measured by the benchmark).
+
+Certificate assembly is a hot path when checkpoints are frequent: the
+share combine interpolates at zero over the quorum's share indices,
+which stabilize after the first certificate -- the Lagrange coefficients
+are LRU-cached by index set
+(:func:`~repro.crypto.polynomial.lagrange_coefficients_at`), so every
+subsequent checkpoint pays only the exponentiations.
 """
 
 from __future__ import annotations

@@ -10,6 +10,12 @@ decode whose hash matches.  Byzantine parties inject garbage fragments;
 the decoder's error-correction budget (``e`` errors need ``k + 2e``
 fragments) absorbs them.
 
+Payloads are byte strings carried as *block fragments* from the
+vectorized coding engine: one contiguous byte block per virtual user,
+end to end on both execution backends, decoded by
+:meth:`~repro.codes.reed_solomon.ReedSolomon.decode_errors_blocks`
+(fold-locate-verify fast path with a per-stripe reference fallback).
+
 Weighted layout (Section 5.2): solve ``WQ(beta_w = 1 - f_w, beta_n)``
 with ``beta_n >= r + (1 - beta_n)`` i.e. ``beta_n = r/2 + 1/2``; honest
 parties then always hold enough fragments to out-vote the corrupted ones.
@@ -21,11 +27,14 @@ import hashlib
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
-from ..codes.reed_solomon import DecodingFailure, Fragment, ReedSolomon
+from ..codes.reed_solomon import BlockFragment, DecodingFailure, ReedSolomon
 from ..sim.process import Party
 from ..weighted.virtual import VirtualUserMap
 
 __all__ = ["EcRequest", "EcFragment", "OnlineDecoder", "EcParty", "GarbageEcParty"]
+
+#: translate table XORing every byte with 0x2A -- the canonical garbling
+_GARBLE = bytes(b ^ 0x2A for b in range(256))
 
 
 @dataclass(frozen=True)
@@ -40,10 +49,10 @@ class EcRequest:
 class EcFragment:
     """Party -> reconstructor: one fragment (possibly garbage if Byzantine)."""
 
-    fragment: Fragment
+    fragment: BlockFragment
 
     def wire_size(self) -> int:
-        return 64 + 4
+        return 64 + 4 + len(self.fragment.block)
 
 
 class OnlineDecoder:
@@ -54,42 +63,48 @@ class OnlineDecoder:
     of fragments).
     """
 
-    def __init__(self, code: ReedSolomon, data_hash: bytes) -> None:
+    def __init__(
+        self, code: ReedSolomon, data_hash: bytes, original_length: int
+    ) -> None:
         self.code = code
         self.data_hash = data_hash
-        self.fragments: dict[int, Fragment] = {}
+        self.original_length = original_length
+        self.fragments: dict[int, bytes] = {}
         self.attempts = 0
-        self.result: Optional[list[int]] = None
+        self.result: Optional[bytes] = None
         #: decoding work (field ops) of the most recent attempt alone --
         #: the per-decode cost the paper's Table 1 computation column
         #: models (total work across attempts is ``code.work_counter``).
         self.last_attempt_work = 0
 
     @staticmethod
-    def hash_data(data: Sequence[int]) -> bytes:
-        h = hashlib.sha256()
-        for s in data:
-            h.update(int(s).to_bytes(4, "big"))
-        return h.digest()
+    def hash_data(data: bytes) -> bytes:
+        return hashlib.sha256(bytes(data)).digest()
 
-    def add(self, fragment: Fragment) -> Optional[list[int]]:
+    def add(self, fragment: BlockFragment) -> Optional[bytes]:
         """Record a fragment; attempt decoding when it could succeed.
 
-        Returns the decoded data on success, else ``None``.  A fragment
-        index seen twice keeps the first value (a Byzantine sender gains
-        nothing by flooding).
+        Returns the decoded payload on success, else ``None``.  A
+        fragment index seen twice keeps the first value (a Byzantine
+        sender gains nothing by flooding).
         """
         if self.result is not None:
             return self.result
         if not 0 <= fragment.index < self.code.m:
             return None
-        self.fragments.setdefault(fragment.index, fragment)
+        # A malformed (wrong-length) block would poison every later
+        # decode attempt; drop it like any other Byzantine garbage.
+        if len(fragment.block) != self.code.block_length(self.original_length):
+            return None
+        self.fragments.setdefault(fragment.index, fragment.block)
         if len(self.fragments) < self.code.k:
             return None
         self.attempts += 1
         work_before = self.code.work_counter
         try:
-            data = self.code.decode_errors(list(self.fragments.values()))
+            data = self.code.decode_errors_blocks(
+                self.fragments, self.original_length
+            )
         except DecodingFailure:
             return None
         finally:
@@ -109,23 +124,30 @@ class EcParty(Party):
         code: ReedSolomon,
         vmap: VirtualUserMap,
         *,
-        on_reconstructed: Optional[Callable[[int, list[int]], None]] = None,
+        on_reconstructed: Optional[Callable[[int, bytes], None]] = None,
     ) -> None:
         super().__init__(pid)
         self.code = code
         self.vmap = vmap
         self.on_reconstructed = on_reconstructed
-        self.my_fragments: tuple[Fragment, ...] = ()
+        self.my_fragments: tuple[BlockFragment, ...] = ()
         self.data_hash: Optional[bytes] = None
+        self.original_length = 0
         self.decoder: Optional[OnlineDecoder] = None
-        self.reconstructed: Optional[list[int]] = None
+        self.reconstructed: Optional[bytes] = None
         self.on(EcRequest, self._handle_request)
         self.on(EcFragment, self._handle_fragment)
 
-    def install(self, fragments: Sequence[Fragment], data_hash: bytes) -> None:
+    def install(
+        self,
+        fragments: Sequence[BlockFragment],
+        data_hash: bytes,
+        original_length: int,
+    ) -> None:
         """Phase-1 state: this party's fragments plus the data hash."""
         self.my_fragments = tuple(fragments)
         self.data_hash = data_hash
+        self.original_length = original_length
 
     def reconstruct(self) -> None:
         """Solicit fragments and start online error correction."""
@@ -134,6 +156,7 @@ class EcParty(Party):
         self.decoder = OnlineDecoder(
             ReedSolomon(k=self.code.k, m=self.code.m, field=self.code.field),
             self.data_hash,
+            self.original_length,
         )
         for f in self.my_fragments:
             self.decoder.add(f)
@@ -166,5 +189,7 @@ class GarbageEcParty(EcParty):
 
     def _handle_request(self, message: EcRequest, sender: int) -> None:
         for f in self.my_fragments:
-            garbled = Fragment(index=f.index, value=f.value ^ 0x2A or 1)
-            self.send(sender, EcFragment(garbled))
+            garbled = f.block.translate(_GARBLE)
+            if garbled == f.block:  # empty block: nothing to garble
+                garbled = b"\x01" * len(f.block)
+            self.send(sender, EcFragment(BlockFragment(f.index, garbled)))

@@ -9,9 +9,18 @@ Design: a :class:`CodecRegistry` maps message dataclasses to short string
 tags.  Encoding is a tagged, self-describing binary format covering the
 value shapes protocol messages actually use (ints of any size, bytes,
 strings, bools, ``None``, tuples, and nested registered dataclasses such
-as :class:`~repro.codes.reed_solomon.Fragment` inside an AVID message).
-Frames are length-prefixed (4-byte big-endian), so a TCP stream can be
-cut back into messages with :class:`FrameAssembler`.
+as :class:`~repro.codes.reed_solomon.BlockFragment` inside an AVID
+message).  Frames are length-prefixed (4-byte big-endian), so a TCP
+stream can be cut back into messages with :class:`FrameAssembler`.
+
+Bytes payloads ride a zero-copy fast path: block fragments are single
+``bytes`` values appended to the output buffer in one C-level operation
+(no per-symbol marshalling), :meth:`CodecRegistry.encode_frame` builds
+the length prefix and body in one buffer (no concatenation copy), and
+:class:`FrameAssembler` decodes straight out of its stream buffer
+through a memoryview instead of materializing each frame body first.
+The transports encode each message exactly once per send -- the byte
+metric is taken from that same encode, never from a second pass.
 """
 
 from __future__ import annotations
@@ -93,9 +102,11 @@ class CodecRegistry:
             out += _LEN.pack(len(raw))
             out += raw
         elif isinstance(value, (bytes, bytearray)):
+            # Fast path: += on the bytearray appends the buffer directly;
+            # no intermediate bytes() copy for the (large) block payloads.
             out += _BYTES
             out += _LEN.pack(len(value))
-            out += bytes(value)
+            out += value
         elif isinstance(value, str):
             raw = value.encode("utf-8")
             out += _STR
@@ -163,7 +174,10 @@ class CodecRegistry:
             raise CodecError("truncated frame")
         (tag_len,) = struct.unpack_from(">H", buf, pos)
         pos += 2
-        tag = bytes(buf[pos : pos + tag_len]).decode("utf-8")
+        try:
+            tag = bytes(buf[pos : pos + tag_len]).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"malformed message tag: {exc}") from exc
         pos += tag_len
         cls = self._by_tag.get(tag)
         if cls is None:
@@ -182,19 +196,37 @@ class CodecRegistry:
 
     def decode(self, data: bytes) -> Any:
         """Inverse of :meth:`encode`; raises on trailing garbage."""
-        message, pos = self._decode_body(memoryview(data), 0)
-        if pos != len(data):
-            raise CodecError(f"{len(data) - pos} trailing bytes after message")
+        return self.decode_view(memoryview(data))
+
+    def decode_view(self, buf: memoryview) -> Any:
+        """Decode one message straight out of a memoryview (zero-copy
+        entry point: no frame-body materialization before decoding)."""
+        message, pos = self._decode_body(buf, 0)
+        if pos != len(buf):
+            raise CodecError(f"{len(buf) - pos} trailing bytes after message")
         return message
 
     def encoded_size(self, message: Any) -> int:
-        """Real payload bytes of ``message`` -- the runtime's metric unit."""
+        """Real payload bytes of ``message`` -- the runtime's metric unit.
+
+        Diagnostic helper only: the transports never call this, they
+        meter the length of the one encode they already perform per send
+        (see ``Transport._encode_and_record``).
+        """
         return len(self.encode(message))
 
     # -- framing -------------------------------------------------------------------
     def encode_frame(self, message: Any) -> bytes:
-        """Length-prefixed encoding suitable for a byte stream."""
-        return frame(self.encode(message))
+        """Length-prefixed encoding suitable for a byte stream.
+
+        Built in a single buffer: the 4-byte prefix is reserved up front
+        and patched after the body is appended, avoiding the
+        concatenation copy of ``frame(encode(message))``.
+        """
+        out = bytearray(_LEN.size)
+        self._encode_body(message, out)
+        _LEN.pack_into(out, 0, len(out) - _LEN.size)
+        return bytes(out)
 
     def decode_frame(self, frame: bytes) -> Any:
         """Decode one complete length-prefixed frame."""
@@ -244,9 +276,21 @@ class FrameAssembler:
             (n,) = _LEN.unpack_from(self._buffer, 0)
             if len(self._buffer) < 4 + n:
                 return
-            body = bytes(self._buffer[4 : 4 + n])
-            del self._buffer[: 4 + n]
-            yield self.registry.decode(body)
+            # Decode straight from the stream buffer (zero-copy): both
+            # views must be released before the buffer can shrink (on
+            # errors the traceback would otherwise keep the slice's
+            # export alive).  The frame is consumed even when decoding
+            # raises, so one bad frame surfaces one error instead of
+            # wedging the stream.
+            view = memoryview(self._buffer)
+            body = view[4 : 4 + n]
+            try:
+                message = self.registry.decode_view(body)
+            finally:
+                body.release()
+                view.release()
+                del self._buffer[: 4 + n]
+            yield message
 
     @property
     def pending_bytes(self) -> int:
@@ -259,7 +303,7 @@ def default_registry() -> CodecRegistry:
     Nested payload dataclasses (Reed-Solomon fragments, signature shares,
     DLEQ proofs) are registered too so AVID and beacon traffic round-trips.
     """
-    from ..codes.reed_solomon import Fragment
+    from ..codes.reed_solomon import BlockFragment, Fragment
     from ..crypto.dleq import DleqProof
     from ..crypto.threshold_sig import SignatureShare
     from ..protocols.avid import AvidDisperse, AvidEcho, AvidFragments, AvidRetrieveRequest
@@ -274,6 +318,7 @@ def default_registry() -> CodecRegistry:
     for cls in (
         # nested payloads
         Fragment,
+        BlockFragment,
         DleqProof,
         SignatureShare,
         # Bracha RBC

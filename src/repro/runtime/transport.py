@@ -18,7 +18,7 @@ import asyncio
 import struct
 from typing import Any, Callable, Optional
 
-from .codec import CodecRegistry, frame, read_frame_body
+from .codec import CodecRegistry, read_frame_body
 from .faults import FaultController
 
 __all__ = ["Transport", "InProcTransport", "TcpTransport"]
@@ -87,11 +87,24 @@ class Transport:
 
     # -- shared helpers -------------------------------------------------------------
     def _encode_and_record(self, message: Any) -> bytes:
+        """The single encode of a message's lifetime on the send side;
+        the byte metric is the length of this very buffer (no second
+        metering encode anywhere)."""
         data = self.registry.encode(message)
         if self._record is not None:
             self._record(type(message).__name__, len(data))
         self.in_flight += 1
         return data
+
+    def _encode_frame_and_record(self, message: Any) -> bytes:
+        """Stream-transport variant: one single-buffer *framed* encode;
+        metered bytes exclude the 4-byte length prefix so both transports
+        report identical payload counts."""
+        framed = self.registry.encode_frame(message)
+        if self._record is not None:
+            self._record(type(message).__name__, len(framed) - 4)
+        self.in_flight += 1
+        return framed
 
     def _resolve(self) -> None:
         self.in_flight -= 1
@@ -243,11 +256,11 @@ class TcpTransport(Transport):
     async def send(self, src: int, dst: int, message: Any) -> int:
         if dst not in self._ports:
             raise KeyError(f"unknown destination {dst}")
-        data = self._encode_and_record(message)
+        framed = self._encode_frame_and_record(message)
         writer = await self._writer_for(src, dst)
-        writer.write(frame(data))
+        writer.write(framed)
         await writer.drain()
-        return len(data)
+        return len(framed) - 4
 
     async def _writer_for(self, src: int, dst: int) -> asyncio.StreamWriter:
         key = (src, dst)

@@ -4,24 +4,21 @@ Asynchrony in the paper's model means messages between honest parties are
 delivered after finite but adversarially chosen delays.  The simulator
 realizes this as a priority queue of timed events; delay models and
 adversarial schedulers (see :mod:`repro.sim.network`) choose the times.
+
+The queue holds plain ``(time, seq)`` tuples -- cheaper to compare and
+push than ordered dataclass instances -- with callbacks kept in a side
+table keyed by sequence number.  Cancellation removes the callback from
+the table (the heap entry is skipped lazily on pop), which also makes
+:attr:`Simulator.pending` a constant-time ``len`` instead of a queue
+scan.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 __all__ = ["Simulator"]
-
-
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
 
 
 class Simulator:
@@ -33,36 +30,45 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: list[_Event] = []
-        self._counter = itertools.count()
+        self._queue: list[tuple[float, int]] = []
+        self._callbacks: dict[int, Callable[[], None]] = {}
+        self._next_seq = 0
         self.events_processed = 0
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> _Event:
-        """Schedule ``callback`` to run ``delay`` time units from now."""
+    def schedule(self, delay: float, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        Returns an opaque handle accepted by :meth:`cancel`.
+        """
         if delay < 0:
             raise ValueError("delay must be non-negative")
-        event = _Event(time=self.now + delay, seq=next(self._counter), callback=callback)
-        heapq.heappush(self._queue, event)
-        return event
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        self._callbacks[seq] = callback
+        heapq.heappush(self._queue, (self.now + delay, seq))
+        return seq
 
-    def cancel(self, event: _Event) -> None:
-        """Cancel a previously scheduled event (lazy removal)."""
-        event.cancelled = True
+    def cancel(self, handle: int) -> None:
+        """Cancel a previously scheduled event (lazy heap removal)."""
+        self._callbacks.pop(handle, None)
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled queued events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled queued events (O(1))."""
+        return len(self._callbacks)
 
     def step(self) -> bool:
         """Run the next event; returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self.now = event.time
+        queue = self._queue
+        callbacks = self._callbacks
+        while queue:
+            time, seq = heapq.heappop(queue)
+            callback = callbacks.pop(seq, None)
+            if callback is None:
+                continue  # cancelled
+            self.now = time
             self.events_processed += 1
-            event.callback()
+            callback()
             return True
         return False
 
@@ -78,17 +84,19 @@ class Simulator:
         Stops when the queue empties, simulated time passes ``until``,
         ``max_events`` have been processed, or ``stop_when()`` turns true.
         """
+        queue = self._queue
+        callbacks = self._callbacks
         processed = 0
-        while self._queue:
+        while queue:
             if stop_when is not None and stop_when():
                 return
             if max_events is not None and processed >= max_events:
                 return
-            nxt = self._queue[0]
-            if nxt.cancelled:
-                heapq.heappop(self._queue)
+            time, seq = queue[0]
+            if seq not in callbacks:
+                heapq.heappop(queue)
                 continue
-            if until is not None and nxt.time > until:
+            if until is not None and time > until:
                 return
             self.step()
             processed += 1

@@ -10,6 +10,7 @@ parts of a protocol with no resilience loss.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Sequence
@@ -74,7 +75,14 @@ class NominalQuorums(QuorumPolicy):
 class WeightedQuorums(QuorumPolicy):
     """Weighted-voting thresholds with resilience ``f_w`` (default 1/3):
     echo/deliver above ``(1 - f_w) W``, ready amplification above
-    ``f_w W``, storage above ``2 f_w W``."""
+    ``f_w W``, storage above ``2 f_w W``.
+
+    The predicates run on every message delivery, so they are evaluated
+    in pure integer arithmetic: weights are scaled to a common
+    denominator once at construction and each ``weight > c * W`` check
+    becomes one cross-multiplied integer comparison -- exactly equivalent
+    to the Fraction math, with none of its per-call allocation.
+    """
 
     weights: tuple[Fraction, ...]
     f_w: Fraction
@@ -84,6 +92,26 @@ class WeightedQuorums(QuorumPolicy):
         object.__setattr__(self, "f_w", as_fraction(f_w))
         if not 0 < self.f_w < Fraction(1, 2):
             raise ValueError("f_w must be in (0, 1/2)")
+        # Integer fast path: w_i * D with D the common denominator; the
+        # predicate `sum > (p/q) * W` becomes `sum_int * q > p * W_int`.
+        scale = math.lcm(*(w.denominator for w in self.weights)) if self.weights else 1
+        int_weights = tuple(int(w * scale) for w in self.weights)
+        total_int = sum(int_weights)
+        object.__setattr__(self, "_int_weights", int_weights)
+        thresholds = {}
+        for name, c in (
+            ("echo", 1 - self.f_w),
+            ("ready", self.f_w),
+            ("storage", 2 * self.f_w),
+        ):
+            c = as_fraction(c)
+            thresholds[name] = (c.denominator, c.numerator * total_int)
+        object.__setattr__(self, "_thresholds", thresholds)
+
+    def _over(self, senders: Iterable[int], name: str) -> bool:
+        int_weights = self._int_weights
+        q, bound = self._thresholds[name]
+        return sum(int_weights[i] for i in set(senders)) * q > bound
 
     @classmethod
     def for_committee(
@@ -101,13 +129,13 @@ class WeightedQuorums(QuorumPolicy):
         return sum((self.weights[i] for i in set(senders)), start=Fraction(0))
 
     def echo_quorum(self, senders: Iterable[int]) -> bool:
-        return self.weight(senders) > (1 - self.f_w) * self.total
+        return self._over(senders, "echo")
 
     def ready_amplify(self, senders: Iterable[int]) -> bool:
-        return self.weight(senders) > self.f_w * self.total
+        return self._over(senders, "ready")
 
     def deliver_quorum(self, senders: Iterable[int]) -> bool:
-        return self.weight(senders) > (1 - self.f_w) * self.total
+        return self._over(senders, "echo")  # same (1 - f_w) W bound
 
     def storage_quorum(self, senders: Iterable[int]) -> bool:
-        return self.weight(senders) > 2 * self.f_w * self.total
+        return self._over(senders, "storage")

@@ -1,0 +1,271 @@
+"""Property tests: the vectorized block engine against the per-symbol
+reference oracle.
+
+The seed's per-symbol path (``encode``/``encode_bytes``,
+``decode_erasures``, ``decode_errors``) is kept precisely to serve as
+the correctness oracle here: on randomized ``(k, m, payload)`` draws the
+block-striped engine must produce byte-identical fragments
+(non-systematic mode) and recover byte-identical payloads through both
+erasure and error decoding, including the corruption patterns that force
+the fold-locate fast path into its per-stripe fallback.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.gf2m import GF256, GF65536
+from repro.codes.reed_solomon import (
+    BlockFragment,
+    DecodingFailure,
+    ReedSolomon,
+)
+
+
+def _oracle_blocks(rs: ReedSolomon, payload: bytes) -> list[bytes]:
+    """Fragment blocks derived purely from the per-symbol oracle."""
+    chunks, _ = rs.encode_bytes(payload)
+    sb = rs.field.width // 8
+    return [
+        b"".join(chunk[j].value.to_bytes(sb, "big") for chunk in chunks)
+        for j in range(rs.m)
+    ]
+
+
+class TestEncodeEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        k=st.integers(min_value=1, max_value=10),
+        extra=st.integers(min_value=0, max_value=12),
+        payload=st.binary(min_size=0, max_size=300),
+    )
+    def test_blocks_match_per_symbol_oracle(self, k, extra, payload):
+        rs = ReedSolomon(k=k, m=k + extra)
+        assert rs.encode_blocks(payload) == _oracle_blocks(rs, payload)
+
+    def test_blocks_match_oracle_gf65536(self):
+        rng = random.Random(0)
+        rs = ReedSolomon(k=5, m=270)
+        assert rs.field is GF65536
+        payload = rng.randbytes(123)
+        assert rs.encode_blocks(payload) == _oracle_blocks(rs, payload)
+
+    def test_systematic_prefix_is_the_data(self):
+        rng = random.Random(1)
+        rs = ReedSolomon(k=4, m=9)
+        payload = rng.randbytes(40)
+        blocks = rs.encode_blocks(payload, systematic=True)
+        recovered = rs.decode_erasures_blocks(
+            {j: blocks[j] for j in range(rs.k)}, len(payload), systematic=True
+        )
+        assert recovered == payload
+        # the first k blocks really are the striped payload shards
+        assert blocks[: rs.k] == rs._split_shards(payload)
+
+    def test_empty_payload(self):
+        rs = ReedSolomon(k=3, m=7)
+        blocks = rs.encode_blocks(b"")
+        assert blocks == [b""] * 7
+        assert rs.decode_erasures_blocks({0: b"", 1: b"", 2: b""}, 0) == b""
+        assert rs.decode_errors_blocks({i: b"" for i in range(5)}, 0) == b""
+
+
+class TestErasureEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        k=st.integers(min_value=1, max_value=10),
+        extra=st.integers(min_value=0, max_value=12),
+        payload=st.binary(min_size=1, max_size=300),
+        seed=st.integers(min_value=0, max_value=10**6),
+        systematic=st.booleans(),
+    )
+    def test_any_k_blocks_reconstruct(self, k, extra, payload, seed, systematic):
+        rng = random.Random(seed)
+        rs = ReedSolomon(k=k, m=k + extra)
+        blocks = rs.encode_blocks(payload, systematic=systematic)
+        subset = rng.sample(range(rs.m), k)
+        got = rs.decode_erasures_blocks(
+            {j: blocks[j] for j in subset}, len(payload), systematic=systematic
+        )
+        assert got == payload
+
+    def test_matches_scalar_decode_exactly(self):
+        """Same chosen index set -> byte-identical output as the oracle."""
+        rng = random.Random(2)
+        rs = ReedSolomon(k=4, m=11)
+        payload = rng.randbytes(64)
+        blocks = rs.encode_blocks(payload)
+        chunks, length = rs.encode_bytes(payload)
+        subset = rng.sample(range(rs.m), 6)
+        via_blocks = rs.decode_erasures_blocks(
+            [(j, blocks[j]) for j in subset], length
+        )
+        via_oracle = rs.decode_bytes(
+            [[c[j] for j in subset] for c in chunks], length
+        )
+        assert via_blocks == via_oracle == payload
+
+    def test_insufficient_blocks(self):
+        rs = ReedSolomon(k=3, m=6)
+        blocks = rs.encode_blocks(b"abcdef")
+        with pytest.raises(DecodingFailure):
+            rs.decode_erasures_blocks({0: blocks[0], 1: blocks[1]}, 6)
+
+    def test_inconsistent_lengths_rejected(self):
+        rs = ReedSolomon(k=2, m=4)
+        blocks = rs.encode_blocks(b"abcd")
+        with pytest.raises(DecodingFailure):
+            rs.decode_erasures_blocks(
+                {0: blocks[0], 1: blocks[1] + b"\x00"}, 4
+            )
+
+    def test_accepts_block_fragments_and_pairs(self):
+        rs = ReedSolomon(k=2, m=5)
+        payload = b"hello world!"
+        blocks = rs.encode_blocks(payload)
+        frags = [BlockFragment(j, blocks[j]) for j in (1, 3)]
+        assert rs.decode_erasures_blocks(frags, len(payload)) == payload
+        pairs = [(j, blocks[j]) for j in (4, 2)]
+        assert rs.decode_erasures_blocks(pairs, len(payload)) == payload
+
+    def test_index_out_of_range_rejected(self):
+        rs = ReedSolomon(k=2, m=4)
+        blocks = rs.encode_blocks(b"abcd")
+        with pytest.raises(DecodingFailure):
+            rs.decode_erasures_blocks({0: blocks[0], 9: blocks[1]}, 4)
+
+
+def _corrupt(rng, blocks_map, victims):
+    out = dict(blocks_map)
+    for j in victims:
+        b = bytearray(out[j])
+        pos = rng.randrange(len(b))
+        b[pos] ^= rng.randint(1, 255)
+        out[j] = bytes(b)
+    return out
+
+
+class TestErrorEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        k=st.integers(min_value=1, max_value=8),
+        e=st.integers(min_value=0, max_value=4),
+        payload=st.binary(min_size=1, max_size=200),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_corrects_up_to_the_bound(self, k, e, payload, seed):
+        rng = random.Random(seed)
+        m = min(k + 2 * e + rng.randrange(3), 60)
+        rs = ReedSolomon(k=k, m=m)
+        blocks = rs.encode_blocks(payload)
+        r = rng.randint(k + 2 * e, m)
+        received = rng.sample(range(m), r)
+        victims = rng.sample(received, e)
+        corrupted = _corrupt(rng, {j: blocks[j] for j in received}, victims)
+        assert rs.decode_errors_blocks(corrupted, len(payload)) == payload
+
+    def test_whole_fragment_garbling(self):
+        """The Byzantine pattern protocols actually produce: every byte
+        of a corrupted fragment garbled, across several stripes."""
+        rng = random.Random(3)
+        rs = ReedSolomon(k=5, m=20)
+        payload = rng.randbytes(7 * rs.k)
+        blocks = rs.encode_blocks(payload)
+        corrupted = {j: blocks[j] for j in range(rs.m)}
+        for j in rng.sample(range(rs.m), (rs.m - rs.k) // 2):
+            corrupted[j] = bytes(b ^ 0x2A for b in corrupted[j])
+        assert rs.decode_errors_blocks(corrupted, len(payload)) == payload
+
+    def test_fold_blind_corruption_falls_back_correctly(self):
+        """An error block whose stripe polynomial has alpha as a root is
+        invisible to the fold; the per-stripe fallback must still decode
+        (this pins the fast path's correctness escape hatch)."""
+        rs = ReedSolomon(k=2, m=8)
+        payload = bytes(range(8))  # 4 stripes over GF(2^8)
+        blocks = rs.encode_blocks(payload)
+        corrupted = {j: blocks[j] for j in range(rs.m)}
+        # error polynomial e(x) = x + alpha: folds to e(alpha) = 0
+        err = bytearray(len(blocks[0]))
+        err[-2] ^= 1  # stripe weighted alpha^1 under the fold
+        err[-1] ^= rs.field.alpha  # stripe weighted alpha^0
+        # Place the invisible error on fragment 0 so the erasure pass
+        # picks it, verification fails, and the fallback must run.
+        corrupted[0] = bytes(
+            a ^ b for a, b in zip(corrupted[0], err)
+        )
+        got = rs.decode_errors_blocks(corrupted, len(payload))
+        assert got == payload
+
+    def test_beyond_budget_never_returns_wrong_original(self):
+        """Whole-fragment garbling one past the budget corrupts every
+        stripe beyond its correction radius: the decoder must raise or
+        land on a different codeword, never quietly return the original."""
+        rng = random.Random(4)
+        rs = ReedSolomon(k=3, m=9)
+        payload = rng.randbytes(12)
+        blocks = rs.encode_blocks(payload)
+        corrupted = {j: blocks[j] for j in range(rs.m)}
+        for j in rng.sample(range(rs.m), (rs.m - rs.k) // 2 + 1):
+            corrupted[j] = bytes(b ^ rng.randint(1, 255) for b in corrupted[j])
+        try:
+            decoded = rs.decode_errors_blocks(corrupted, len(payload))
+        except DecodingFailure:
+            return
+        assert decoded != payload
+
+    def test_gf65536_error_blocks(self):
+        rng = random.Random(5)
+        rs = ReedSolomon(k=3, m=280)
+        payload = rng.randbytes(50)
+        blocks = rs.encode_blocks(payload)
+        received = rng.sample(range(rs.m), 11)
+        corrupted = _corrupt(
+            rng, {j: blocks[j] for j in received}, rng.sample(received, 4)
+        )
+        assert rs.decode_errors_blocks(corrupted, len(payload)) == payload
+
+    def test_systematic_error_decode(self):
+        rng = random.Random(6)
+        rs = ReedSolomon(k=4, m=12)
+        payload = rng.randbytes(30)
+        blocks = rs.encode_blocks(payload, systematic=True)
+        corrupted = _corrupt(
+            rng, {j: blocks[j] for j in range(rs.m)}, rng.sample(range(rs.m), 4)
+        )
+        got = rs.decode_errors_blocks(
+            corrupted, len(payload), systematic=True
+        )
+        assert got == payload
+
+
+class TestWorkCounters:
+    def test_block_work_counts_symbol_equivalents(self):
+        """Table 1's overhead ratios rely on block work being counted in
+        the same units as the per-symbol oracle (ops per codeword times
+        stripes)."""
+        rs_blocks = ReedSolomon(k=3, m=9)
+        rs_oracle = ReedSolomon(k=3, m=9)
+        payload = bytes(range(9))  # 3 stripes
+        blocks = rs_blocks.encode_blocks(payload)
+        chunks, _ = rs_oracle.encode_bytes(payload)
+        assert rs_blocks.work_counter == rs_oracle.work_counter
+        before = rs_blocks.work_counter
+        rs_blocks.decode_erasures_blocks(
+            {j: blocks[j] for j in range(3)}, len(payload)
+        )
+        assert rs_blocks.work_counter - before == 3 * 3 * 3  # k^2 * stripes
+
+    def test_basis_cache_shared_across_instances(self):
+        """AVID constructs a fresh ReedSolomon per retrieval; the cached
+        Lagrange basis must survive instance churn."""
+        from repro.codes import reed_solomon as mod
+
+        payload = bytes(range(20))
+        blocks = ReedSolomon(k=4, m=10).encode_blocks(payload)
+        subset = {j: blocks[j] for j in (1, 4, 6, 9)}
+        ReedSolomon(k=4, m=10).decode_erasures_blocks(subset, len(payload))
+        hits_before = mod._lagrange_basis.cache_info().hits
+        ReedSolomon(k=4, m=10).decode_erasures_blocks(subset, len(payload))
+        assert mod._lagrange_basis.cache_info().hits > hits_before

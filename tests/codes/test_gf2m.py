@@ -11,8 +11,11 @@ from repro.codes.gf2m import GF256, GF65536, GF2m
 
 class TestConstruction:
     def test_rejects_nonprimitive_poly(self):
+        # Tables build lazily, so the primitivity error surfaces on
+        # first arithmetic use rather than at construction.
+        bogus = GF2m(8, 0x100)  # x^8: not primitive
         with pytest.raises(ValueError):
-            GF2m(8, 0x100)  # x^8: not primitive
+            bogus.mul(2, 3)
 
     def test_rejects_bad_width(self):
         with pytest.raises(ValueError):
@@ -23,6 +26,50 @@ class TestConstruction:
     def test_table_sizes(self):
         assert len(GF256.log) == 256
         assert GF65536.size == 65536
+
+    def test_tables_lazy(self):
+        # Importing the package must not pay for the ~196k GF(2^16)
+        # table entries; a fresh field only materializes them on use.
+        fresh = GF2m(16, 0x1100B)
+        assert not fresh.tables_built
+        assert fresh.mul(0x1234, 0x5678) == fresh.mul(0x5678, 0x1234)
+        assert fresh.tables_built
+
+
+class TestBlockKernel:
+    def test_scale_block_matches_scalar_gf256(self):
+        rng = random.Random(10)
+        block = rng.randbytes(97)
+        for s in (0, 1, 2, 7, 0x53, 255):
+            expect = bytes(GF256.mul(s, v) for v in block)
+            assert GF256.scale_block(s, block) == expect
+
+    def test_scale_block_matches_scalar_gf65536(self):
+        rng = random.Random(11)
+        symbols = [rng.randrange(65536) for _ in range(41)]
+        block = GF65536.symbols_to_block(symbols)
+        for s in (0, 1, 2, 0x100, 0xBEEF, 65535):
+            expect = GF65536.symbols_to_block(
+                [GF65536.mul(s, v) for v in symbols]
+            )
+            assert GF65536.scale_block(s, block) == expect
+
+    def test_scale_block_empty(self):
+        assert GF256.scale_block(7, b"") == b""
+
+    def test_xor_blocks(self):
+        from repro.codes.gf2m import xor_blocks
+
+        a, b = bytes(range(50)), bytes(reversed(range(50)))
+        assert xor_blocks(a, b) == bytes(x ^ y for x, y in zip(a, b))
+        with pytest.raises(ValueError):
+            xor_blocks(b"\x00", b"\x00\x00")
+
+    def test_symbol_block_roundtrip(self):
+        rng = random.Random(12)
+        for field in (GF256, GF65536):
+            symbols = [rng.randrange(field.size) for _ in range(23)]
+            assert field.block_to_symbols(field.symbols_to_block(symbols)) == symbols
 
 
 class TestArithmetic:

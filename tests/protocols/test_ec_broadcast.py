@@ -1,10 +1,13 @@
-"""Integration tests for online-error-correction dissemination."""
+"""Integration tests for online-error-correction dissemination.
+
+Payloads are byte strings carried as block fragments; the online decoder
+runs the block engine's fold-locate-verify error decoding per attempt."""
 
 import random
 
 import pytest
 
-from repro.codes import Fragment, ReedSolomon
+from repro.codes import BlockFragment, ReedSolomon
 from repro.protocols.ec_broadcast import EcParty, GarbageEcParty, OnlineDecoder
 from repro.sim import build_world
 from repro.sim.adversary import heaviest_under, most_tickets_under
@@ -13,14 +16,18 @@ from repro.weighted.transform import error_correction_setup
 WEIGHTS = [40, 25, 15, 10, 5, 3, 1, 1]
 
 
+def _fragments(code: ReedSolomon, payload: bytes) -> list[BlockFragment]:
+    return [BlockFragment(j, b) for j, b in enumerate(code.encode_blocks(payload))]
+
+
 class TestOnlineDecoder:
-    def _make(self, k=3, m=9, seed=0):
+    def _make(self, k=3, m=9, seed=0, size=64):
         rng = random.Random(seed)
         code = ReedSolomon(k=k, m=m)
-        data = [rng.randrange(code.field.size) for _ in range(k)]
-        fragments = code.encode(data)
+        data = rng.randbytes(size)
+        fragments = _fragments(code, data)
         decoder = OnlineDecoder(
-            ReedSolomon(k=k, m=m), OnlineDecoder.hash_data(data)
+            ReedSolomon(k=k, m=m), OnlineDecoder.hash_data(data), len(data)
         )
         return data, fragments, decoder
 
@@ -32,7 +39,7 @@ class TestOnlineDecoder:
 
     def test_garbage_absorbed_with_more_fragments(self):
         data, fragments, decoder = self._make()
-        garbage = Fragment(index=0, value=fragments[0].value ^ 0x11 or 1)
+        garbage = BlockFragment(0, bytes(b ^ 0x11 for b in fragments[0].block))
         decoder.add(garbage)
         for f in fragments[1:]:
             result = decoder.add(f)
@@ -41,12 +48,13 @@ class TestOnlineDecoder:
     def test_duplicate_index_keeps_first(self):
         data, fragments, decoder = self._make()
         decoder.add(fragments[0])
-        decoder.add(Fragment(index=0, value=fragments[0].value ^ 1))
+        decoder.add(BlockFragment(0, bytes(b ^ 1 for b in fragments[0].block)))
         assert len(decoder.fragments) == 1
+        assert decoder.fragments[0] == fragments[0].block
 
     def test_out_of_range_index_ignored(self):
         data, fragments, decoder = self._make()
-        decoder.add(Fragment(index=99, value=1))
+        decoder.add(BlockFragment(99, b"\x01" * len(fragments[0].block)))
         assert not decoder.fragments
 
     def test_attempt_counter(self):
@@ -57,19 +65,19 @@ class TestOnlineDecoder:
 
     def test_wrong_hash_never_accepts(self):
         data, fragments, _ = self._make()
-        decoder = OnlineDecoder(ReedSolomon(k=3, m=9), b"\x00" * 32)
+        decoder = OnlineDecoder(ReedSolomon(k=3, m=9), b"\x00" * 32, len(data))
         for f in fragments:
             assert decoder.add(f) is None
 
 
 class TestEcProtocol:
-    def _world(self, rate="1/4", seed=0, corrupt=frozenset()):
+    def _world(self, rate="1/4", seed=0, corrupt=frozenset(), size=48):
         # Section 5.2 layout: f_w = 1/3, code rate 1/4, beta_n = 5/8.
         setup = error_correction_setup(WEIGHTS, "1/3", rate)
         code = ReedSolomon(k=setup.data_shards, m=setup.total_shards)
         rng = random.Random(seed)
-        data = [rng.randrange(code.field.size) for _ in range(code.k)]
-        fragments = code.encode(data)
+        data = rng.randbytes(size)
+        fragments = _fragments(code, data)
         data_hash = OnlineDecoder.hash_data(data)
 
         def factory(pid):
@@ -79,7 +87,7 @@ class TestEcProtocol:
         world = build_world(factory, len(WEIGHTS), seed=seed)
         for pid in range(len(WEIGHTS)):
             mine = [fragments[v] for v in setup.vmap.virtual_ids(pid)]
-            world.party(pid).install(mine, data_hash)
+            world.party(pid).install(mine, data_hash, len(data))
         return setup, data, world
 
     def test_all_honest_reconstruct(self):
@@ -122,9 +130,10 @@ class TestEcProtocol:
         from repro.protocols.ec_broadcast import EcFragment
 
         foreign_index = next(iter(setup.vmap.virtual_ids(1)))
+        blen = len(party.my_fragments[0].block)
         before = dict(party.decoder.fragments)
         party._handle_fragment(
-            EcFragment(Fragment(index=foreign_index, value=7)), sender=0
+            EcFragment(BlockFragment(foreign_index, b"\x07" * blen)), sender=0
         )
         assert party.decoder.fragments == before
 
@@ -139,3 +148,25 @@ class TestEcProtocol:
         world.party(0).reconstruct()
         world.run()
         assert world.party(0).counters["decode_work"] > 0
+
+
+class TestMalformedBlocks:
+    def test_wrong_length_block_does_not_wedge_decoder(self):
+        """A Byzantine fragment with a wrong-length block is dropped like
+        any other garbage: honest fragments arriving later still decode
+        (regression: it used to poison every subsequent attempt)."""
+        rng = random.Random(7)
+        code = ReedSolomon(k=3, m=9)
+        data = rng.randbytes(30)
+        fragments = _fragments(code, data)
+        decoder = OnlineDecoder(
+            ReedSolomon(k=3, m=9), OnlineDecoder.hash_data(data), len(data)
+        )
+        assert decoder.add(BlockFragment(0, b"\x01\x02")) is None  # malformed
+        assert not decoder.fragments
+        result = None
+        for f in fragments[1:]:
+            result = decoder.add(f)
+            if result is not None:
+                break
+        assert result == data

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.codes.reed_solomon import Fragment
+from repro.codes.reed_solomon import BlockFragment, Fragment
 from repro.crypto.dleq import DleqProof
 from repro.crypto.threshold_sig import SignatureShare
 from repro.protocols.avid import (
@@ -27,6 +27,7 @@ _SHARE = SignatureShare(index=3, value=2**200 + 7, proof=_PROOF)
 #: one representative instance of every type default_registry() knows
 SAMPLES = [
     Fragment(index=5, value=1023),
+    BlockFragment(index=7, block=bytes(range(64))),
     _PROOF,
     _SHARE,
     RbcSend(payload=b"hello world"),
@@ -36,20 +37,21 @@ SAMPLES = [
     BatchEcho(epoch=3, proposer=0, payload=b"x" * 1000),
     BatchReady(epoch=2**40, proposer=1, payload=b"big epoch"),
     AvidDisperse(
-        fragments=(Fragment(0, 7), Fragment(1, 9)),
+        fragments=(BlockFragment(0, b"\x07\x08"), BlockFragment(1, b"\x09\x0a")),
         hash_list=(b"\x00" * 32, b"\xff" * 32),
         commitment=b"\xab" * 32,
         data_shards=2,
         total_shards=4,
+        original_length=4,
     ),
     AvidEcho(commitment=b"\x01" * 32),
     AvidRetrieveRequest(commitment=b"\x02" * 32),
-    AvidFragments(commitment=b"\x03" * 32, fragments=(Fragment(2, 4),)),
+    AvidFragments(commitment=b"\x03" * 32, fragments=(BlockFragment(2, b"\x04"),)),
     CoinShareMsg(epoch=9, share=_SHARE),
     CheckpointVote(checkpoint=b"cp-hash"),
     CheckpointShare(checkpoint=b"cp-hash", share=_SHARE),
     EcRequest(),
-    EcFragment(fragment=Fragment(11, 13)),
+    EcFragment(fragment=BlockFragment(11, b"\x0d" * 16)),
     Proposal(round=1, value=b"p"),
     Vote(round=2, value=b"v"),
     Commit(value=b"c"),
@@ -166,3 +168,149 @@ class TestErrors:
         reg.register(Holder)
         with pytest.raises(CodecError, match="cannot encode"):
             reg.encode(Holder(x=3.14))
+
+
+class TestBytesFastPath:
+    """Fuzz round-trips through the codec's zero-copy bytes fast path."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_block_fragment_fuzz_round_trip(self, registry, seed):
+        import random
+
+        rng = random.Random(seed)
+        fragments = tuple(
+            BlockFragment(index=rng.randrange(1 << 16), block=rng.randbytes(rng.randrange(0, 2048)))
+            for _ in range(rng.randrange(1, 8))
+        )
+        message = AvidFragments(commitment=rng.randbytes(32), fragments=fragments)
+        data = registry.encode(message)
+        assert registry.decode(data) == message
+        assert registry.decode_frame(registry.encode_frame(message)) == message
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_streamed_blocks_reassemble(self, registry, seed):
+        """Large block payloads cut at arbitrary chunk boundaries decode
+        straight out of the assembler's buffer."""
+        import random
+
+        rng = random.Random(100 + seed)
+        messages = [
+            AvidFragments(
+                commitment=rng.randbytes(32),
+                fragments=(BlockFragment(i, rng.randbytes(1024)),),
+            )
+            for i in range(5)
+        ]
+        stream = b"".join(registry.encode_frame(m) for m in messages)
+        assembler = FrameAssembler(registry)
+        out = []
+        pos = 0
+        while pos < len(stream):
+            step = rng.randrange(1, 700)
+            out.extend(assembler.feed(stream[pos : pos + step]))
+            pos += step
+        assert out == messages
+        assert assembler.pending_bytes == 0
+
+    def test_encode_frame_matches_legacy_framing(self, registry):
+        from repro.runtime.codec import frame
+
+        for message in SAMPLES:
+            assert registry.encode_frame(message) == frame(registry.encode(message))
+
+
+class TestSingleEncodePerSend:
+    """The transports must encode each message exactly once per send --
+    the byte metric comes from that same encode (no metering re-encode)."""
+
+    def _counting_registry(self):
+        registry = default_registry()
+        counts = {"encode": 0}
+        original_body = registry._encode_body
+
+        def counted_body(message, out):
+            counts["encode"] += 1
+            return original_body(message, out)
+
+        registry._encode_body = counted_body
+        return registry, counts
+
+    def test_inproc_send_encodes_once(self):
+        import asyncio
+
+        from repro.protocols.reliable_broadcast import RbcSend
+        from repro.runtime.transport import InProcTransport
+
+        registry, counts = self._counting_registry()
+        recorded = []
+
+        async def drive():
+            transport = InProcTransport(
+                registry, record=lambda name, size: recorded.append((name, size))
+            )
+            got = []
+            transport.bind(0, lambda src, m: got.append(m))
+            transport.bind(1, lambda src, m: got.append(m))
+            await transport.start()
+            message = RbcSend(payload=b"x" * 512)
+            sent = await transport.send(0, 1, message)
+            while not got:
+                await asyncio.sleep(0.001)
+            await transport.stop()
+            return got, sent
+
+        got, sent = asyncio.run(drive())
+        # one encode for the send -- nested dataclasses would add to the
+        # count only if the message contained any, RbcSend does not
+        assert counts["encode"] == 1
+        assert recorded == [("RbcSend", sent)]
+
+    def test_tcp_send_encodes_once(self):
+        import asyncio
+
+        from repro.protocols.reliable_broadcast import RbcSend
+        from repro.runtime.transport import TcpTransport
+
+        registry, counts = self._counting_registry()
+        recorded = []
+
+        async def drive():
+            transport = TcpTransport(
+                registry, record=lambda name, size: recorded.append((name, size))
+            )
+            got = []
+            transport.bind(0, lambda src, m: got.append(m))
+            transport.bind(1, lambda src, m: got.append(m))
+            await transport.start()
+            message = RbcSend(payload=b"y" * 512)
+            sent = await transport.send(0, 1, message)
+            for _ in range(2000):
+                if got:
+                    break
+                await asyncio.sleep(0.001)
+            await transport.stop()
+            return got, sent
+
+        got, sent = asyncio.run(drive())
+        assert counts["encode"] == 1
+        assert got == [RbcSend(payload=b"y" * 512)]
+        assert recorded == [("RbcSend", sent)]
+
+
+TestSingleEncodePerSend.test_tcp_send_encodes_once = pytest.mark.tcp(
+    TestSingleEncodePerSend.test_tcp_send_encodes_once
+)
+
+
+class TestMalformedFrames:
+    def test_bad_frame_consumed_stream_recovers(self, registry):
+        """One undecodable frame raises once; later valid frames still
+        deliver (regression: the bad frame used to stay buffered and
+        re-raise on every subsequent feed)."""
+        bad = b"\x00\x00\x00\x03\xff\xff\xff"
+        good = registry.encode_frame(SAMPLES[0])
+        assembler = FrameAssembler(registry)
+        with pytest.raises(CodecError):
+            list(assembler.feed(bad))
+        assert assembler.pending_bytes == 0
+        assert list(assembler.feed(good)) == [SAMPLES[0]]

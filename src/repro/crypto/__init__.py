@@ -3,10 +3,10 @@ proofs, unique threshold signatures, threshold ElGamal, and common coins
 (paper, Sections 4 and 6)."""
 
 from .common_coin import CommonCoin, WeightedCoin
-from .dleq import DleqProof, prove_dleq, verify_dleq
+from .dleq import DleqProof, prove_dleq, verify_dleq, verify_dleq_batch
 from .feldman import FeldmanCommitment, FeldmanDealing, FeldmanVSS
 from .field import DEFAULT_FIELD, PrimeField
-from .group import RFC3526_GROUP_2048, TEST_GROUP_256, SchnorrGroup
+from .group import RFC3526_GROUP_2048, TEST_GROUP_256, GroupEngine, SchnorrGroup
 from .polynomial import Polynomial, interpolate_at, lagrange_coefficients_at
 from .shamir import SecretSharing, Share, WeightedSharing, deal_weighted
 from .threshold_enc import Ciphertext, DecryptionShare, ThresholdElGamal
@@ -16,6 +16,7 @@ __all__ = [
     "PrimeField",
     "DEFAULT_FIELD",
     "SchnorrGroup",
+    "GroupEngine",
     "TEST_GROUP_256",
     "RFC3526_GROUP_2048",
     "Polynomial",
@@ -31,6 +32,7 @@ __all__ = [
     "DleqProof",
     "prove_dleq",
     "verify_dleq",
+    "verify_dleq_batch",
     "ThresholdSignatureScheme",
     "ThresholdKeys",
     "SignatureShare",

@@ -39,16 +39,34 @@ class CommonCoin:
         return self.scheme.sign_share(signer, self._epoch_message(epoch), rng)
 
     def verify_share(self, share: SignatureShare, epoch: int) -> bool:
-        """Publicly verify a coin share."""
+        """Publicly verify a coin share (per-share oracle)."""
         return self.scheme.verify_share(share, self._epoch_message(epoch))
 
-    def open(self, shares: Sequence[SignatureShare], epoch: int) -> int:
+    def verify_shares(
+        self, shares: Sequence[SignatureShare], epoch: int, *, rng=None
+    ) -> list[bool]:
+        """Batch-verify an epoch's coin shares (one aggregate check).
+
+        A weighted coin receives one share per *ticket*, so this is the
+        hot path: thousands of shares collapse into two
+        multi-exponentiations instead of thousands of scalar ``pow``
+        chains.  Agrees with :meth:`verify_share` per share.
+        """
+        return self.scheme.verify_shares_batch(
+            shares, self._epoch_message(epoch), rng=rng
+        )
+
+    def open(
+        self, shares: Sequence[SignatureShare], epoch: int, *, verify: bool = True
+    ) -> int:
         """Combine ``k`` shares into the epoch's random value (a large int).
 
         Uniqueness of the threshold signature makes the value independent
         of which shares were combined -- every honest opener agrees.
+        Callers that already batch-verified at the quorum point pass
+        ``verify=False`` to skip the (batched) re-verification.
         """
-        sigma = self.scheme.combine(shares, self._epoch_message(epoch))
+        sigma = self.scheme.combine(shares, self._epoch_message(epoch), verify=verify)
         digest = hashlib.sha256(
             b"coin-value|" + sigma.to_bytes((sigma.bit_length() + 7) // 8 or 1, "big")
         ).digest()
@@ -97,6 +115,12 @@ class WeightedCoin:
         return [
             self.coin.share(v, epoch, rng) for v in self.virtual_of_party[party]
         ]
+
+    def verify_shares(
+        self, shares: Sequence[SignatureShare], epoch: int, *, rng=None
+    ) -> list[bool]:
+        """Batch-verify coin shares (see :meth:`CommonCoin.verify_shares`)."""
+        return self.coin.verify_shares(shares, epoch, rng=rng)
 
     def open_with_parties(
         self, parties: Sequence[int], epoch: int, rng

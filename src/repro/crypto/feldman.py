@@ -9,10 +9,11 @@ ticket of a Weight Restriction solution.
 
 from __future__ import annotations
 
+import random as _random
 from dataclasses import dataclass
 from typing import Sequence
 
-from .group import SchnorrGroup
+from .group import SchnorrGroup, batch_bisect
 from .polynomial import Polynomial, interpolate_at
 from .shamir import Share
 
@@ -32,20 +33,57 @@ class FeldmanCommitment:
         return self.values[0]
 
     def expected_share_commitment(self, index: int) -> int:
-        """``g^{f(index)}`` computed from the coefficient commitments."""
-        acc = 1
-        power = 1
+        """``g^{f(index)}`` as one Straus product ``prod_j C_j^{index^j}``."""
         q = self.group.order
+        pairs = []
+        power = 1
         for c in self.values:
-            acc = acc * pow(c, power, self.group.p) % self.group.p
+            pairs.append((c, power))
             power = power * index % q
-        return acc
+        return self.group.multi_exp(pairs)
 
     def verify_share(self, share: Share) -> bool:
         """Check ``g^{share.value} == g^{f(share.index)}``."""
         return self.group.exp_g(share.value) == self.expected_share_commitment(
             share.index
         )
+
+    def verify_shares_batch(self, shares: Sequence[Share], *, rng=None) -> list[bool]:
+        """Batch-verify many shares against the commitment.
+
+        With random small ``z_i`` the per-share checks aggregate into
+
+        ``g^{sum_i z_i v_i}  ==  prod_j C_j^{sum_i z_i i^j}``
+
+        -- one fixed-base exponentiation plus one ``k``-base Straus
+        product for the *whole* batch.  On aggregate failure (or a
+        non-subgroup commitment, which only a Byzantine dealer
+        produces), falls back to bisection ending in the per-share
+        oracle, so results always agree with :meth:`verify_share`.
+        """
+        if not shares:
+            return []
+        if rng is None:
+            rng = _random.SystemRandom()
+        group, q = self.group, self.group.order
+        if not all(group.is_member_fast(c) for c in self.values):
+            return [self.verify_share(s) for s in shares]
+
+        def aggregate_holds(chunk: Sequence[Share]) -> bool:
+            lhs_exp = 0
+            col_exps = [0] * len(self.values)
+            for share in chunk:
+                z = rng.getrandbits(64) | 1
+                lhs_exp += z * share.value
+                power = 1
+                for j in range(len(self.values)):
+                    col_exps[j] = (col_exps[j] + z * power) % q
+                    power = power * share.index % q
+            lhs = group.exp_g(lhs_exp % q)
+            rhs = group.multi_exp(list(zip(self.values, col_exps)))
+            return lhs == rhs
+
+        return batch_bisect(list(shares), aggregate_holds, self.verify_share)
 
 
 @dataclass(frozen=True)

@@ -107,18 +107,42 @@ def lagrange_coefficients_at(
 def _lagrange_coefficients_cached(
     field: PrimeField, xs: tuple[int, ...], point: int
 ) -> tuple[int, ...]:
-    if len(set(x % field.modulus for x in xs)) != len(xs):
+    mod = field.modulus
+    if len(set(x % mod for x in xs)) != len(xs):
         raise ValueError("interpolation points must be distinct")
-    coeffs = []
+    k = len(xs)
+    # Numerators prod_{j != i} (point - x_j) via prefix/suffix products:
+    # O(k) multiplications instead of the O(k^2) inner loop (a weighted
+    # quorum interpolates over hundreds of virtual-signer indices).
+    diffs = [(point - x) % mod for x in xs]
+    prefix = [1] * (k + 1)
+    for i, d in enumerate(diffs):
+        prefix[i + 1] = prefix[i] * d % mod
+    suffix = [1] * (k + 1)
+    for i in range(k - 1, -1, -1):
+        suffix[i] = suffix[i + 1] * diffs[i] % mod
+    nums = [prefix[i] * suffix[i + 1] % mod for i in range(k)]
+    # Denominators prod_{j != i} (x_i - x_j): inherently pairwise.
+    dens = []
     for i, xi in enumerate(xs):
-        num, den = 1, 1
+        den = 1
         for j, xj in enumerate(xs):
-            if i == j:
-                continue
-            num = num * ((point - xj) % field.modulus) % field.modulus
-            den = den * ((xi - xj) % field.modulus) % field.modulus
-        coeffs.append(field.mul(num, field.inv(den)))
-    return tuple(coeffs)
+            if i != j:
+                den = den * (xi - xj) % mod
+        dens.append(den % mod)
+    # Montgomery batch inversion: one pow + 3k multiplications instead
+    # of k modular inversions.
+    running = []
+    acc = 1
+    for d in dens:
+        running.append(acc)
+        acc = acc * d % mod
+    inv_acc = field.inv(acc)
+    invs = [0] * k
+    for i in range(k - 1, -1, -1):
+        invs[i] = running[i] * inv_acc % mod
+        inv_acc = inv_acc * dens[i] % mod
+    return tuple(n * inv % mod for n, inv in zip(nums, invs))
 
 
 def interpolate_at(

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from .dleq import DleqProof, prove_dleq, verify_dleq
+from .dleq import DleqProof, prove_dleq, verify_dleq, verify_indexed_dleq_batch
 from .group import SchnorrGroup
 from .polynomial import Polynomial, lagrange_coefficients_at
 
@@ -87,6 +87,19 @@ class ThresholdElGamal:
             self.group, self.group.generator, pk_i, ct.c1, share.value, share.proof
         )
 
+    def verify_shares_batch(
+        self, shares: Sequence[DecryptionShare], ct: Ciphertext, *, rng=None
+    ) -> list[bool]:
+        """Batch-verify decryption shares of one ciphertext.
+
+        All shares of a ciphertext prove DLEQ against ``(g, c1)``, so
+        they aggregate into one random-linear-combination check; agrees
+        with :meth:`verify_share` per share.
+        """
+        return verify_indexed_dleq_batch(
+            self.group, ct.c1, self.public_shares, shares, rng=rng
+        )
+
     def combine(
         self,
         shares: Sequence[DecryptionShare],
@@ -94,17 +107,21 @@ class ThresholdElGamal:
         *,
         verify: bool = True,
     ) -> int:
-        """Recover the plaintext from ``k`` decryption shares."""
+        """Recover the plaintext from ``k`` decryption shares.
+
+        Verification is batched; the Lagrange-in-the-exponent unblinding
+        runs as a single Straus multi-exponentiation.
+        """
         unique = list({s.index: s for s in shares}.values())
         if len(unique) < self.k:
             raise ValueError(f"need {self.k} distinct shares, got {len(unique)}")
         chosen = unique[: self.k]
         if verify:
-            for share in chosen:
-                if not self.verify_share(share, ct):
+            for share, ok in zip(chosen, self.verify_shares_batch(chosen, ct)):
+                if not ok:
                     raise ValueError(f"invalid decryption share from {share.index}")
         lambdas = lagrange_coefficients_at(self.field, [s.index for s in chosen], 0)
-        blind = 1
-        for lam, share in zip(lambdas, chosen):
-            blind = blind * self.group.power(share.value, lam) % self.group.p
+        blind = self.group.multi_exp(
+            [(share.value, lam) for lam, share in zip(lambdas, chosen)]
+        )
         return ct.c2 * self.group.inv(blind) % self.group.p

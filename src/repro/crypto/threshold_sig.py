@@ -20,9 +20,10 @@ faithfully exercised.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Mapping, Sequence
 
-from .dleq import DleqProof, prove_dleq, verify_dleq
+from .dleq import DleqProof, prove_dleq, verify_dleq, verify_indexed_dleq_batch
 from .group import SchnorrGroup
 from .polynomial import Polynomial, lagrange_coefficients_at
 
@@ -67,6 +68,14 @@ class ThresholdSignatureScheme:
         self.k = k
         self._secret_shares: dict[int, int] = {}
         self._keys: ThresholdKeys | None = None
+        # Per-message LRU over H(b"thsig|" + message): signing, verifying,
+        # and combining the T shares of one epoch hash the message once,
+        # not once per share (the paper's work scales with ticket count).
+        # Closes over the (immutable) group rather than self, so the
+        # cache keeps no reference cycle through the scheme.
+        self._message_point = lru_cache(maxsize=256)(
+            lambda message, _group=group: _group.hash_to_group(b"thsig|" + message)
+        )
 
     # -- setup -------------------------------------------------------------------
     def keygen(self, rng) -> ThresholdKeys:
@@ -93,8 +102,9 @@ class ThresholdSignatureScheme:
 
     # -- signing ------------------------------------------------------------------
     def hash_message(self, message: bytes) -> int:
-        """``H(m)``: the group element being raised to the secret key."""
-        return self.group.hash_to_group(b"thsig|" + message)
+        """``H(m)``: the group element being raised to the secret key
+        (LRU-cached per message via ``_message_point``)."""
+        return self._message_point(message)
 
     def sign_share(self, index: int, message: bytes, rng) -> SignatureShare:
         """Produce signer ``index``'s signature share with a DLEQ proof."""
@@ -113,26 +123,47 @@ class ThresholdSignatureScheme:
             self.group, self.group.generator, pk_i, h, share.value, share.proof
         )
 
+    def verify_shares_batch(
+        self, shares: Sequence[SignatureShare], message: bytes, *, rng=None
+    ) -> list[bool]:
+        """Batch-verify shares of one message; one bool per share.
+
+        All shares of a message prove DLEQ against the same base pair
+        ``(g, H(m))``, so the whole batch collapses into one
+        random-linear-combination aggregate (two multi-exponentiations);
+        see :func:`~repro.crypto.dleq.verify_dleq_batch`.  Agrees with
+        :meth:`verify_share` on every input.
+        """
+        return verify_indexed_dleq_batch(
+            self.group,
+            self.hash_message(message),
+            self.keys.public_shares,
+            shares,
+            rng=rng,
+        )
+
     def combine(
         self, shares: Sequence[SignatureShare], message: bytes, *, verify: bool = True
     ) -> int:
         """Lagrange-combine ``k`` shares into the unique signature
-        ``H(m)^x``.  With ``verify=True`` (default) invalid shares raise."""
+        ``H(m)^x``.  With ``verify=True`` (default) invalid shares raise
+        (located by the batch verifier).  The combine itself is
+        Lagrange-in-the-exponent as a single Straus product over the
+        LRU-cached coefficients."""
         unique = list({s.index: s for s in shares}.values())
         if len(unique) < self.k:
             raise ValueError(f"need {self.k} distinct shares, got {len(unique)}")
         chosen = unique[: self.k]
         if verify:
-            for share in chosen:
-                if not self.verify_share(share, message):
+            for share, ok in zip(chosen, self.verify_shares_batch(chosen, message)):
+                if not ok:
                     raise ValueError(f"invalid signature share from {share.index}")
         lambdas = lagrange_coefficients_at(
             self.field, [s.index for s in chosen], 0
         )
-        sigma = 1
-        for lam, share in zip(lambdas, chosen):
-            sigma = sigma * self.group.power(share.value, lam) % self.group.p
-        return sigma
+        return self.group.multi_exp(
+            [(share.value, lam) for lam, share in zip(lambdas, chosen)]
+        )
 
     def verify(self, signature: int, message: bytes) -> bool:
         """Verify a combined signature.

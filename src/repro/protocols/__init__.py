@@ -4,7 +4,7 @@ SSLE, and PoS checkpointing (paper, Sections 4-6)."""
 
 from .avid import AvidParty, fragment_digest
 from .checkpointing import CheckpointParty, CheckpointShare, CheckpointVote
-from .common_coin import BeaconParty, CoinShareMsg
+from .common_coin import BeaconParty, CoinShareMsg, ThresholdCoin
 from .ec_broadcast import EcParty, GarbageEcParty, OnlineDecoder
 from .reliable_broadcast import (
     BroadcastParty,
@@ -31,6 +31,7 @@ __all__ = [
     "GarbageEcParty",
     "OnlineDecoder",
     "BeaconParty",
+    "ThresholdCoin",
     "CoinShareMsg",
     "VabaParty",
     "WeightedVabaRunner",

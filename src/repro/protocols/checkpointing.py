@@ -19,7 +19,12 @@ share combine interpolates at zero over the quorum's share indices,
 which stabilize after the first certificate -- the Lagrange coefficients
 are LRU-cached by index set
 (:func:`~repro.crypto.polynomial.lagrange_coefficients_at`), so every
-subsequent checkpoint pays only the exponentiations.
+subsequent checkpoint pays only the exponentiations -- and those run as
+one Straus multi-exponentiation.  Share verification is batched at the
+quorum decision point: shares buffer unverified until ``k`` are pending,
+then one random-linear-combination aggregate
+(:meth:`~repro.crypto.threshold_sig.ThresholdSignatureScheme.verify_shares_batch`)
+checks them all, with bisection isolating Byzantine shares.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from ..crypto.threshold_sig import SignatureShare, ThresholdSignatureScheme
 from ..sim.process import Party
 from ..weighted.tight import TightGate
 from ..weighted.virtual import VirtualUserMap
+from .batching import BatchedQuorumCollector
 
 __all__ = ["CheckpointVote", "CheckpointShare", "CheckpointParty"]
 
@@ -54,7 +60,9 @@ class CheckpointShare:
     share: SignatureShare
 
     def wire_size(self) -> int:
-        return 64 + 32 + 96
+        # checkpoint hash + share value + DLEQ proof (challenge,
+        # response, and the two batch-enabling Sigma commitments)
+        return 64 + 32 + 96 + 128
 
 
 class CheckpointParty(Party):
@@ -89,7 +97,8 @@ class CheckpointParty(Party):
         self.beta = beta
         self.on_certified = on_certified
         self.certificates: dict[bytes, int] = {}
-        self._shares: dict[bytes, dict[int, SignatureShare]] = {}
+        #: per-checkpoint verify-in-batches quorum state
+        self._collectors: dict[bytes, BatchedQuorumCollector] = {}
         self._gates: dict[bytes, TightGate] = {}
         self._shared: set[bytes] = set()
         self.on(CheckpointVote, self._handle_vote)
@@ -123,19 +132,30 @@ class CheckpointParty(Party):
 
     # -- share collection ----------------------------------------------------------
     def _handle_share(self, message: CheckpointShare, sender: int) -> None:
-        if message.checkpoint in self.certificates:
+        """Buffer the share; verify in batches at the quorum point."""
+        checkpoint = message.checkpoint
+        if checkpoint in self.certificates:
             return
-        if not self.scheme.verify_share(message.share, message.checkpoint):
-            self.bump("invalid_shares")
-            return
-        self.bump("shares_verified")
-        bucket = self._shares.setdefault(message.checkpoint, {})
-        bucket[message.share.index] = message.share
-        if len(bucket) >= self.scheme.k:
-            signature = self.scheme.combine(
-                list(bucket.values()), message.checkpoint, verify=False
+        collector = self._collectors.get(checkpoint)
+        if collector is None:
+            collector = self._collectors[checkpoint] = BatchedQuorumCollector(
+                self.scheme.k,
+                lambda batch, cp=checkpoint: self.scheme.verify_shares_batch(batch, cp),
             )
-            self.certificates[message.checkpoint] = signature
+        outcome = collector.add(message.share)
+        if outcome is None:
+            return
+        accepted, rejected = outcome
+        if accepted:
+            self.bump("shares_verified", accepted)
+        if rejected:
+            self.bump("invalid_shares", rejected)
+        if collector.has_quorum:
+            signature = self.scheme.combine(
+                collector.quorum_shares(), checkpoint, verify=False
+            )
+            self.certificates[checkpoint] = signature
+            del self._collectors[checkpoint]
             self.bump("certificates")
             if self.on_certified is not None:
-                self.on_certified(self.pid, message.checkpoint, signature)
+                self.on_certified(self.pid, checkpoint, signature)

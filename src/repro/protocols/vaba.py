@@ -105,6 +105,12 @@ class VabaParty(Party):
 
     ``validity_predicate`` implements external validity; invalid values
     are never proposed, voted for, or decided by honest parties.
+
+    ``coin`` optionally replaces the hash stand-in with a real round
+    coin, e.g. :class:`~repro.protocols.common_coin.ThresholdCoin`: the
+    coin is only demanded at the quorum decision point (``n - t``
+    proposals in), which is where the threshold coin batch-verifies its
+    shares -- verify-in-batches rather than verify-on-arrival.
     """
 
     def __init__(
@@ -114,6 +120,7 @@ class VabaParty(Party):
         t: int,
         *,
         coin_seed: int = 0,
+        coin: Optional[Callable[[int], int]] = None,
         validity_predicate: Optional[Callable[[bytes], bool]] = None,
         on_decide: Optional[Callable[[int, bytes], None]] = None,
     ) -> None:
@@ -121,6 +128,7 @@ class VabaParty(Party):
         self.n = n
         self.t = t
         self.coin_seed = coin_seed
+        self.coin = coin
         self.validity = validity_predicate or (lambda value: True)
         self.on_decide = on_decide
         self.decided: Optional[bytes] = None
@@ -177,7 +185,10 @@ class VabaParty(Party):
         bucket = self._proposals.get(rnd, {})
         if len(bucket) < self.n - self.t:
             return
-        leader = _coin_value(self.coin_seed, rnd, self.n)
+        if self.coin is not None:
+            leader = self.coin(rnd) % self.n
+        else:
+            leader = _coin_value(self.coin_seed, rnd, self.n)
         if rnd not in self._voted_rounds and leader in bucket:
             self._voted_rounds.add(rnd)
             self.bump("coin_flips")
@@ -251,6 +262,7 @@ class WeightedVabaRunner:
         f_w,
         *,
         coin_seed: int = 0,
+        coin: Optional[Callable[[int], int]] = None,
         validity_predicate: Optional[Callable[[bytes], bool]] = None,
     ) -> None:
         from fractions import Fraction
@@ -262,6 +274,7 @@ class WeightedVabaRunner:
         self.f_w = as_fraction(f_w)
         self.total_weight = sum(self.weights, start=Fraction(0))
         self.coin_seed = coin_seed
+        self.coin = coin
         self.validity = validity_predicate
         total = vmap.total_virtual
         # Nominal fault budget: strictly below f_n * T corrupted virtual
@@ -286,6 +299,7 @@ class WeightedVabaRunner:
                 self.n_virtual,
                 t,
                 coin_seed=self.coin_seed,
+                coin=self.coin,
                 validity_predicate=self.validity,
                 on_decide=on_decide,
             )

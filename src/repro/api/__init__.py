@@ -17,7 +17,11 @@ One facade over the whole pipeline::
   ``swiper-linear``, ``milp``, ``brute-force``, or custom registrations)
   to a uniform :class:`TicketAssignmentResult`;
 * :class:`Session` executes a committee + protocol + backend and emits
-  the scenario engine's unified record.
+  the scenario engine's unified record;
+* the :mod:`repro.service` epoch-service names (:class:`EpochService`,
+  :class:`EpochManager`, ...) are re-exported here for one-stop imports;
+  a ``Session`` whose workload has ``kind="service"`` routes to the
+  service stack automatically.
 
 The CLI, the scenario engine, and the examples all consume this facade;
 adding a backend or a solver strategy is one registration, not a
@@ -28,6 +32,7 @@ repo-root ``api_surface.txt`` -- CI fails on export drift.
 from .committee import Committee, CommitteeValidationError
 from .policy import (
     POLICIES,
+    IncrementalSolver,
     SolverPolicy,
     TicketAssignmentResult,
     get_policy,
@@ -45,6 +50,22 @@ from .weight_source import (
     weight_source_from_args,
 )
 
+#: epoch-service names re-exported from :mod:`repro.service`.  Resolved
+#: lazily (PEP 562) because the service package itself imports
+#: ``repro.api.committee`` / ``repro.api.policy`` -- an eager re-import
+#: here would be circular whenever ``repro.service`` is imported first.
+_SERVICE_EXPORTS = (
+    "DriftSchedule",
+    "EpochManager",
+    "EpochService",
+    "InprocServiceBackend",
+    "LoadGenerator",
+    "ServiceConfig",
+    "ServiceResult",
+    "SimServiceBackend",
+    "WeightSchedule",
+)
+
 __all__ = [
     "Committee",
     "CommitteeValidationError",
@@ -57,10 +78,20 @@ __all__ = [
     "weight_source_from_args",
     "SolverPolicy",
     "TicketAssignmentResult",
+    "IncrementalSolver",
     "POLICIES",
     "register_policy",
     "get_policy",
     "solve_with_policy",
     "BackendSpec",
     "Session",
+    *_SERVICE_EXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        from .. import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

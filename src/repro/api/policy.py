@@ -16,12 +16,15 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..core.exact import solve_exact_milp, solve_family_optimal
+from ..core.prices import PriceStream
+from ..core.problems import WeightQualification
 from ..core.solver import Swiper, SwiperResult, is_valid_assignment
-from ..core.types import TicketAssignment
+from ..core.types import TicketAssignment, normalize_weights
 
 __all__ = [
     "SolverPolicy",
     "TicketAssignmentResult",
+    "IncrementalSolver",
     "POLICIES",
     "register_policy",
     "get_policy",
@@ -179,6 +182,182 @@ def solve_with_policy(
         elapsed_seconds=elapsed,
         probes=probes,
     )
+
+
+class IncrementalSolver:
+    """Epoch-over-epoch ticket re-solver that reuses the memoized price
+    stream when only a few weights changed.
+
+    The epoch service re-forms its committee every rotation, usually after
+    a small stake delta (one party bonding or unbonding).  A cold Swiper
+    solve rebuilds the whole cheapest-ticket heap; the dominant cost on
+    large committees is extending that heap to the first binary-search
+    probe.  This solver keeps the previous epoch's
+    :class:`~repro.core.prices.PriceStream` and, when at most
+    ``max_delta`` parties changed, runs the *same* binary search on a
+    patched stream (see :meth:`PriceStream.patched`) with holder-only
+    sparse checks.
+
+    The result is equal to a cold solve **by construction**: the patched
+    stream enumerates bitwise-identical picks, so every probe sees the
+    same assignment, every checker verdict matches (sparse checks are
+    exact restrictions of the dense ones), and the search walks the same
+    ``lo``/``hi`` path to the same family member.  This matters because
+    family validity is *not* monotone in the total -- a warm-started
+    search from the previous answer can land on a different local
+    minimum, so replaying the cold search is the only incremental
+    strategy that keeps every party's locally computed assignment in
+    agreement.
+
+    Not thread-safe; one instance per (service, problem).
+    """
+
+    #: patched-stream chains longer than this are flattened (``compact``)
+    #: before being cached, bounding per-extension overhead for services
+    #: that rotate many times
+    _MAX_CHAIN = 8
+
+    def __init__(
+        self,
+        problem,
+        *,
+        mode: str = "full",
+        use_quick_test: bool = True,
+        max_delta: int = 16,
+        verify: bool = False,
+    ) -> None:
+        self.problem = problem
+        self.max_delta = max_delta
+        self.verify = verify
+        self._mode = mode
+        self._swiper = Swiper(mode=mode, use_quick_test=use_quick_test)
+        self._effective = (
+            problem.to_restriction()
+            if isinstance(problem, WeightQualification)
+            else problem
+        )
+        self._c = self._effective.rounding_constant
+        self._raw: Optional[list] = None
+        self._ws: Optional[tuple] = None
+        self._total = None
+        self._exact: Optional[tuple[list[int], int]] = None
+        self._stream: Optional[PriceStream] = None
+        #: ``"cold"`` or ``"incremental"`` -- how the last solve ran
+        self.last_mode: Optional[str] = None
+        #: parties whose weight differed from the cached epoch (cold: n)
+        self.last_changed: int = 0
+        self.solves = 0
+        self.incremental_hits = 0
+
+    def _delta(self, raw: list) -> Optional[list[int]]:
+        """Changed party indices vs the cached epoch, or ``None`` when the
+        cache cannot be reused (first solve, shrink, or large delta)."""
+        old = self._raw
+        if old is None or self._stream is None or len(raw) < len(old):
+            return None
+        # Numeric equality on the raw values; normalization preserves it,
+        # so unchanged entries can share the cached Fraction objects.
+        changed = [i for i, (a, b) in enumerate(zip(raw, old)) if a != b]
+        changed.extend(range(len(old), len(raw)))
+        if len(changed) > self.max_delta:
+            return None
+        return changed
+
+    def _patched_exact(
+        self, ws: tuple, changed: list[int]
+    ) -> Optional[tuple[list[int], int]]:
+        """Previous epoch's exact integer scaling patched in O(delta), when
+        the changed weights share the cached common denominator."""
+        if self._exact is None:
+            return None
+        ints, denom = self._exact
+        ints = list(ints) + [0] * (len(ws) - len(ints))
+        for i in changed:
+            scaled = ws[i] * denom
+            if scaled.denominator != 1:
+                return None
+            ints[i] = scaled.numerator
+        return ints, denom
+
+    def solve(self, weights: Sequence) -> TicketAssignmentResult:
+        """Solve for ``weights``, incrementally when the delta from the
+        previous call is small; returns the same
+        :class:`TicketAssignmentResult` a cold ``"swiper"`` policy solve
+        would (up to timing fields)."""
+        from ..core.types import as_fraction
+        from ..core.verify import make_checker
+
+        raw = list(weights)
+        changed = self._delta(raw)
+        stream = checker = None
+        total = None
+        if changed is not None:
+            base_ws = self._ws
+            new_ws = list(base_ws) + [None] * (len(raw) - len(base_ws))
+            total = self._total
+            for i in changed:
+                new_ws[i] = as_fraction(raw[i])
+                total += new_ws[i] - (base_ws[i] if i < len(base_ws) else 0)
+            ws = tuple(new_ws)
+            try:
+                stream = self._stream if not changed else self._stream.patched(ws)
+            except ValueError:
+                stream = None
+        if stream is not None:
+            self.last_mode = "incremental"
+            self.last_changed = len(changed)
+            self.incremental_hits += 1
+        else:
+            ws = normalize_weights(tuple(weights))
+            total = None
+            changed = None
+            stream = PriceStream(ws, self._c)
+            self.last_mode = "cold"
+            self.last_changed = len(ws)
+        checker = make_checker(
+            self._effective,
+            ws,
+            use_quick_test=self._swiper.use_quick_test,
+            linear_mode=(self._mode == "linear"),
+            total_weight=total,
+        )
+        if changed is not None:
+            exact = self._patched_exact(ws, changed)
+            if exact is not None:
+                checker.ctx._exact = exact
+        self.solves += 1
+        raw_result = self._swiper.solve(
+            self.problem,
+            ws,
+            stream=stream,
+            sparse=(self.last_mode == "incremental"),
+            checker=checker,
+        )
+        self._raw = raw
+        self._ws = ws
+        self._stream = (
+            stream.compact() if stream._chain >= self._MAX_CHAIN else stream
+        )
+        self._total = checker.ctx.total
+        self._exact = checker.ctx._exact
+        if self.verify:
+            verdict = (
+                "valid"
+                if is_valid_assignment(self.problem, ws, raw_result.assignment)
+                else "invalid"
+            )
+        else:
+            verdict = "unverified"
+        return TicketAssignmentResult(
+            problem=self.problem,
+            policy="swiper",
+            assignment=raw_result.assignment,
+            bound=raw_result.ticket_bound,
+            achieved=raw_result.assignment.total,
+            verdict=verdict,
+            elapsed_seconds=raw_result.elapsed_seconds,
+            probes=raw_result.probes,
+        )
 
 
 # -- built-in policies -----------------------------------------------------------------

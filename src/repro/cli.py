@@ -149,6 +149,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable JSON output"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived epoch service under open-loop load",
+        description=(
+            "Start an epoch service (repro.service): pipelined SMR slots "
+            "over rotating weighted committees, with checkpoint handover "
+            "between epochs and an open-loop Poisson workload.  Stake "
+            "drifts (--drift) change the weight vector at a given epoch; "
+            "small drifts exercise the incremental re-solve fast path.  "
+            "Reports ops/sec, latency percentiles, and per-epoch records."
+        ),
+    )
+    add_weight_source(serve, required=False)
+    serve.add_argument(
+        "--backend",
+        choices=["sim", "inproc"],
+        default="sim",
+        help="execution backend (default: sim -- deterministic virtual time)",
+    )
+    serve.add_argument(
+        "--f-w", default="1/3", help="weighted resilience threshold (default 1/3)"
+    )
+    serve.add_argument(
+        "--rate", type=float, default=100.0, help="Poisson arrival rate (req/s)"
+    )
+    serve.add_argument(
+        "--requests", type=int, default=50, help="total requests to submit"
+    )
+    serve.add_argument(
+        "--payload-size", type=int, default=32, help="bytes per request payload"
+    )
+    serve.add_argument(
+        "--slot-interval",
+        type=float,
+        default=0.05,
+        help="seconds between slot-cut attempts",
+    )
+    serve.add_argument(
+        "--slots-per-epoch",
+        type=int,
+        default=4,
+        help="rotate the committee after this many slots (0 disables)",
+    )
+    serve.add_argument(
+        "--epoch-seconds",
+        type=float,
+        default=0.0,
+        help="rotate the committee after this much scenario time (0 disables)",
+    )
+    serve.add_argument(
+        "--drift",
+        action="append",
+        default=[],
+        metavar="E:I:W",
+        help="stake drift: from epoch E on, party I weighs W (repeatable; "
+        "I == n appends a new party)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="determinism seed")
+    serve.add_argument(
+        "--timeout", type=float, default=60.0, help="hard stop (scenario seconds)"
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+
     scenario = sub.add_parser(
         "scenario",
         help="run a named declarative scenario on a chosen backend",
@@ -421,6 +486,95 @@ def _run_cluster_command(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- serve subcommand --------------------------------------------------------------
+
+
+def _parse_drifts(specs: Sequence[str]) -> tuple[tuple[int, int, int], ...]:
+    drifts = []
+    for text in specs:
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise ValueError(f"--drift wants E:I:W, got {text!r}")
+        drifts.append((int(parts[0]), int(parts[1]), int(parts[2])))
+    return tuple(drifts)
+
+
+def _run_serve_command(args: argparse.Namespace) -> int:
+    from .service import (
+        DriftSchedule,
+        EpochManager,
+        EpochService,
+        InprocServiceBackend,
+        LoadGenerator,
+        ServiceConfig,
+        SimServiceBackend,
+    )
+
+    try:
+        committee = _load_committee(args)
+        if committee is None:
+            committee = Committee.synthetic(
+                "zipf", n=8, total=800, skew=1.2, seed=args.seed
+            )
+        committee.validate(f_w=args.f_w, payload_size=args.payload_size)
+        schedule = DriftSchedule(
+            initial=tuple(committee.int_weights),
+            drifts=_parse_drifts(args.drift),
+        )
+        manager = EpochManager(schedule, f_w=args.f_w)
+        config = ServiceConfig(
+            f_w=args.f_w,
+            slot_interval=args.slot_interval,
+            slots_per_epoch=args.slots_per_epoch,
+            epoch_seconds=args.epoch_seconds,
+            max_time=args.timeout,
+        )
+        if args.backend == "sim":
+            backend = SimServiceBackend(seed=args.seed)
+        else:
+            backend = InprocServiceBackend()
+        load = LoadGenerator(
+            args.rate,
+            args.requests,
+            payload_size=args.payload_size,
+            seed=args.seed,
+        )
+        service = EpochService(
+            backend, manager, config, name="serve", seed=args.seed, load=load
+        )
+        result = service.run()
+    except (ValueError, ZeroDivisionError, OSError, TimeoutError) as exc:
+        return _fail(args, exc)
+    if result.error is not None:
+        # Rotation infeasibility (and timeouts) surface through the same
+        # uniform {"error": ...} exit-2 path as bad parameters.
+        return _fail(args, result.error)
+
+    rec = result.record()
+    if args.json:
+        print(json.dumps(rec))
+        return 0
+    svc = rec["service"]
+    print(f"backend         : {rec['backend']}")
+    print(f"committee       : {committee.n} parties ({committee.provenance})")
+    print(f"requests        : {svc['requests_committed']}/{svc['requests_submitted']} committed")
+    print(f"slots           : {svc['slots']}")
+    print(f"rotations       : {svc['rotations']}")
+    print(f"ops/sec         : {svc['ops_per_sec']}")
+    print(f"latency p50     : {svc['latency_p50_s']}s")
+    print(f"latency p99     : {svc['latency_p99_s']}s")
+    for ep in svc["epochs"]:
+        print(
+            f"  epoch {ep['epoch']}: n={ep['n']} slots "
+            f"[{ep['first_slot']},{ep['last_slot']}) requests={ep['requests']} "
+            f"tickets={ep['total_tickets']} solve={ep['solver_mode']} "
+            f"handover={ep['rotation_seconds']}s"
+        )
+    print(f"messages        : {rec['messages']}")
+    print(f"payload bytes   : {rec['bytes']}")
+    return 0
+
+
 # -- scenario subcommand -----------------------------------------------------------
 
 
@@ -495,6 +649,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.problem == "cluster":
         return _run_cluster_command(args)
+    if args.problem == "serve":
+        return _run_serve_command(args)
     if args.problem == "scenario":
         return _run_scenario_command(args)
     return _run_solver_command(args)

@@ -78,12 +78,33 @@ class PriceStream:
         heapq.heapify(self._heap)
         #: party index of the k-th cheapest ticket, extended on demand
         self._picks: list[int] = []
+        #: price of the k-th cheapest ticket (parallel to ``_picks``); kept
+        #: so a later epoch can merge this prefix with a handful of changed
+        #: parties' ladders instead of re-popping the whole heap
+        self._pick_prices: list[Fraction] = []
+        #: patched-stream chain length above this stream (0 for a plain one)
+        self._chain = 0
+
+    @property
+    def weights(self) -> tuple[Fraction, ...]:
+        return tuple(self._weights)
+
+    @property
+    def rounding_constant(self) -> Fraction:
+        return self._c
+
+    @property
+    def depth(self) -> int:
+        """Number of cheapest-ticket picks memoized so far."""
+        return len(self._picks)
 
     def _extend(self, total: int) -> None:
         heap, picks, c, weights = self._heap, self._picks, self._c, self._weights
+        prices = self._pick_prices
         while len(picks) < total:
             price, i, m = heapq.heappop(heap)
             picks.append(i)
+            prices.append(price)
             heapq.heappush(heap, ((m + 1 - c) / weights[i], i, m + 1))
 
     def assignment(self, total: int) -> list[int]:
@@ -95,6 +116,135 @@ class PriceStream:
         for i in self._picks[:total]:
             tickets[i] += 1
         return tickets
+
+    def sparse_counts(self, total: int) -> tuple[list[int], list[int]]:
+        """``assignment(total)`` in sparse form: ascending holder indices
+        and their positive ticket counts.  ``O(total)`` instead of
+        ``O(n + total)`` -- the per-probe win for large committees."""
+        if total < 0:
+            raise ValueError("total must be non-negative")
+        self._extend(total)
+        counts: dict[int, int] = {}
+        for i in self._picks[:total]:
+            counts[i] = counts.get(i, 0) + 1
+        indices = sorted(counts)
+        return indices, [counts[i] for i in indices]
+
+    def patched(self, new_weights: Sequence[Fraction]) -> "PriceStream":
+        """A stream for ``(new_weights, c)`` that reuses this stream's
+        memoized picks.
+
+        Only the *changed* parties' price ladders are re-heaped; unchanged
+        parties' picks are replayed from this stream's prefix in their
+        original (already sorted) order and merged by exact price
+        comparison.  The merged pick sequence is bitwise-identical to a
+        fresh ``PriceStream(new_weights, c)`` because both enumerate the
+        same set of ``(price, party)`` keys in the same total order.
+
+        ``new_weights`` may extend the base vector (joining parties) but
+        not shrink it, and at least one positive-weight party must be
+        unchanged (otherwise there is nothing to reuse -- build a fresh
+        stream instead).
+        """
+        return _PatchedPriceStream(self, new_weights)
+
+    def compact(self) -> "PriceStream":
+        """A plain stream with the same memoized prefix and future picks.
+
+        Flattens a (possibly patched) stream in ``O(depth + n)`` so that
+        epoch-over-epoch patching never chains through old base streams.
+        """
+        s = PriceStream.__new__(PriceStream)
+        s._weights = self._weights
+        s._c = self._c
+        s._picks = list(self._picks)
+        s._pick_prices = list(self._pick_prices)
+        next_m = [1] * len(self._weights)
+        for i in s._picks:
+            next_m[i] += 1
+        s._heap = [
+            ((next_m[i] - self._c) / w, i, next_m[i])
+            for i, w in enumerate(self._weights)
+            if w > 0
+        ]
+        heapq.heapify(s._heap)
+        s._chain = 0
+        return s
+
+
+class _PatchedPriceStream(PriceStream):
+    """Lazy merge of a base stream's pick prefix with changed parties'
+    fresh price ladders (see :meth:`PriceStream.patched`)."""
+
+    #: how many extra picks to materialize on the base stream at a time
+    #: when the merge runs past its memoized prefix
+    _BASE_CHUNK = 256
+
+    def __init__(self, base: PriceStream, new_weights: Sequence[Fraction]) -> None:
+        old = base._weights
+        if len(new_weights) < len(old):
+            raise ValueError(
+                "patched stream cannot shrink the party set; build a fresh "
+                "PriceStream instead"
+            )
+        changed = {
+            i
+            for i in range(len(new_weights))
+            if i >= len(old) or new_weights[i] != old[i]
+        }
+        if not any(
+            old[i] > 0 and i not in changed for i in range(len(old))
+        ):
+            raise ValueError(
+                "patched stream needs at least one unchanged positive-weight "
+                "party; build a fresh PriceStream instead"
+            )
+        self._weights = list(new_weights)
+        self._c = base._c
+        self._base = base
+        self._changed = changed
+        c = self._c
+        self._changed_heap: list[tuple[Fraction, int, int]] = [
+            ((1 - c) / new_weights[i], i, 1)
+            for i in sorted(changed)
+            if new_weights[i] > 0
+        ]
+        heapq.heapify(self._changed_heap)
+        self._base_ptr = 0
+        self._picks = []
+        self._pick_prices = []
+        self._heap = []  # unused; extension goes through the merge
+        self._chain = base._chain + 1
+
+    def _extend(self, total: int) -> None:
+        base, changed = self._base, self._changed
+        base_picks, base_prices = base._picks, base._pick_prices
+        heap = self._changed_heap
+        picks, prices = self._picks, self._pick_prices
+        c, weights = self._c, self._weights
+        ptr = self._base_ptr
+        while len(picks) < total:
+            # Next unchanged pick from the base prefix (skipping picks that
+            # belonged to now-changed parties), extending the base on demand.
+            while True:
+                if ptr >= len(base_picks):
+                    base._extend(len(base_picks) + self._BASE_CHUNK)
+                bi = base_picks[ptr]
+                if bi in changed:
+                    ptr += 1
+                    continue
+                break
+            bp = base_prices[ptr]
+            if heap and (heap[0][0], heap[0][1]) < (bp, bi):
+                price, i, m = heapq.heappop(heap)
+                picks.append(i)
+                prices.append(price)
+                heapq.heappush(heap, ((m + 1 - c) / weights[i], i, m + 1))
+            else:
+                picks.append(bi)
+                prices.append(bp)
+                ptr += 1
+        self._base_ptr = ptr
 
 
 def assignment_for_total(

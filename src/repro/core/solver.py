@@ -104,13 +104,29 @@ class Swiper:
         self.use_quick_test = use_quick_test
 
     def solve(
-        self, problem: WeightReductionProblem, weights: Iterable[Number]
+        self,
+        problem: WeightReductionProblem,
+        weights: Iterable[Number],
+        *,
+        stream: Optional[PriceStream] = None,
+        sparse: bool = False,
+        checker=None,
+        total_weight=None,
     ) -> SwiperResult:
         """Solve ``problem`` on ``weights``; deterministic for fixed input.
 
         Determinism is the property that lets every party of a distributed
         system run the solver locally and agree on the ticket assignment
         without any extra protocol (paper, Section 3 "Determinism").
+
+        ``stream`` injects a pre-built (e.g. patched, see
+        :meth:`PriceStream.patched`) price stream for these exact weights;
+        ``sparse`` probes the checker through its holder-only entry point;
+        ``checker`` injects a pre-built fresh checker for these weights and
+        this problem/mode (``total_weight`` likewise short-circuits the
+        exact W sum inside a solver-built checker).  All are pure
+        accelerations: the probe sequence, every verdict, and the final
+        assignment are identical to the default path.
         """
         start = time.perf_counter()
         ws = normalize_weights(weights)
@@ -122,16 +138,36 @@ class Swiper:
         )
         c = effective.rounding_constant
         bound = problem.ticket_bound(n)
-        checker = make_checker(
-            effective,
-            ws,
-            use_quick_test=self.use_quick_test,
-            linear_mode=(self.mode == "linear"),
-        )
+        if checker is None:
+            checker = make_checker(
+                effective,
+                ws,
+                use_quick_test=self.use_quick_test,
+                linear_mode=(self.mode == "linear"),
+                total_weight=total_weight,
+            )
+        elif (
+            checker.problem != effective
+            or checker.use_quick_test != self.use_quick_test
+            or checker.linear_mode != (self.mode == "linear")
+            or checker.ctx.weights != tuple(ws)
+            or checker.stats.checks
+        ):
+            raise ValueError(
+                "injected checker must be fresh and built for these exact "
+                "weights, this problem, and this solver mode"
+            )
         # One memoized price stream serves every probe: the binary search
         # revisits overlapping prefixes of the same cheapest-ticket
         # sequence, so each ticket's exact-Fraction price is computed once.
-        stream = PriceStream(ws, c)
+        if stream is None:
+            stream = PriceStream(ws, c)
+        elif stream.rounding_constant != c or stream.weights != tuple(ws):
+            raise ValueError(
+                "injected price stream was built for different weights or "
+                "rounding constant"
+            )
+        use_sparse = sparse and hasattr(checker, "check_sparse")
         # Invariant: family member with total `hi` is valid (members at the
         # theorem bound are valid without checking -- Appendix A), family
         # member with total `lo` is invalid (T = 0 is never viable).
@@ -139,9 +175,13 @@ class Swiper:
         probes = 0
         while hi - lo > 1:
             mid = (lo + hi) // 2
-            tickets = stream.assignment(mid)
             probes += 1
-            if checker.check(tickets, mid):
+            if use_sparse:
+                indices, counts = stream.sparse_counts(mid)
+                ok = checker.check_sparse(indices, counts, mid)
+            else:
+                ok = checker.check(stream.assignment(mid), mid)
+            if ok:
                 hi = mid
             else:
                 lo = mid

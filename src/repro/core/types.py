@@ -49,7 +49,26 @@ def normalize_weights(weights: Iterable[Number]) -> tuple[Fraction, ...]:
 
     Weights must be non-negative and at least one must be positive (the
     paper's problems require ``W != 0``).
+
+    Already-normalized vectors (tuples of :class:`Fraction`) pass through
+    unchanged after a cheap validation scan -- callers that re-solve the
+    same large vector (the epoch service's incremental path) avoid ``n``
+    redundant conversions.
     """
+    if (
+        isinstance(weights, tuple)
+        and weights
+        and all(type(w) is Fraction for w in weights)
+    ):
+        if any(w.numerator < 0 for w in weights):
+            for i, w in enumerate(weights):
+                if w < 0:
+                    raise ValueError(
+                        f"weight #{i} is negative ({w}); weights are R>=0"
+                    )
+        if not any(w.numerator for w in weights):
+            raise ValueError("total weight W must be non-zero")
+        return weights
     ws = tuple(as_fraction(w) for w in weights)
     if not ws:
         raise ValueError("weight vector must be non-empty")

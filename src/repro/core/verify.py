@@ -85,9 +85,15 @@ class _WeightsContext:
     scalings, each computed lazily (the solver may never need them).
     """
 
-    def __init__(self, weights: Sequence[Fraction]):
+    def __init__(
+        self, weights: Sequence[Fraction], total: Optional[Fraction] = None
+    ):
         self.weights = tuple(weights)
-        self.total: Fraction = sum(self.weights, start=Fraction(0))
+        # ``total`` lets epoch-style callers that maintain W across small
+        # weight deltas skip the O(n) exact sum; it must equal the true sum.
+        self.total: Fraction = (
+            sum(self.weights, start=Fraction(0)) if total is None else total
+        )
         if self.total <= 0:
             raise ValueError("total weight W must be positive")
         self.n = len(self.weights)
@@ -143,8 +149,9 @@ class RestrictionChecker:
         *,
         use_quick_test: bool = True,
         linear_mode: bool = False,
+        total_weight: Optional[Fraction] = None,
     ) -> None:
-        self.ctx = _WeightsContext(weights)
+        self.ctx = _WeightsContext(weights, total=total_weight)
         self.problem = problem
         self.use_quick_test = use_quick_test
         self.linear_mode = linear_mode
@@ -231,6 +238,73 @@ class RestrictionChecker:
         target = self.violation_target(total)
         return not self._dp_violating_subset_exists(tickets, target)
 
+    def check_sparse(
+        self, indices: Sequence[int], counts: Sequence[int], total: int
+    ) -> bool:
+        """Identical decision to :meth:`check` on the dense vector with
+        ``counts[k]`` tickets at party ``indices[k]`` and zero elsewhere.
+
+        ``indices`` must be ascending and ``counts`` positive (the form
+        :meth:`repro.core.prices.PriceStream.sparse_counts` produces).
+        Every knapsack routine already skips zero-ticket items and breaks
+        density ties by input position, so restricting the item arrays to
+        holders changes no bound, no DP value, and no verdict -- it only
+        drops the ``O(n)`` dense scans, the per-probe cost that dominates
+        large-committee re-solves.
+        """
+        self.stats.checks += 1
+        if total <= 0:
+            return False
+        w = self.ctx.weights
+        holder_weights = [w[i] for i in indices]
+        if self.use_quick_test:
+            target = self.violation_target(total)
+            upper = knapsack.fractional_upper_bound(
+                holder_weights, counts, self.capacity
+            )
+            if upper < target:
+                self.stats.quick_valid += 1
+                return True
+            lower = knapsack.greedy_lower_bound(
+                holder_weights, counts, self.capacity
+            )
+            if lower >= target:
+                self.stats.quick_invalid += 1
+                return False
+            self.stats.quick_uncertain += 1
+        if self.linear_mode:
+            return False
+        target = self.violation_target(total)
+        self.stats.dp_calls += 1
+        if len(counts) * target <= _EXACT_DP_CELL_LIMIT:
+            return self._dp_exact_sparse(indices, counts, target)
+        scaled_cap = knapsack.strict_cap_int(
+            self.problem.alpha_w * (1 << knapsack.SCALE_BITS)
+        )
+        idx = np.asarray(indices, dtype=np.intp)
+        mw_down = knapsack.min_weight_for_profit_numpy(
+            self.ctx.rounded_down[idx], counts, target
+        )
+        if mw_down is None or mw_down > scaled_cap:
+            return True
+        mw_up = knapsack.min_weight_for_profit_numpy(
+            self.ctx.rounded_up[idx], counts, target
+        )
+        if mw_up is not None and mw_up <= scaled_cap:
+            return False
+        self.stats.exact_fallbacks += 1
+        return self._dp_exact_sparse(indices, counts, target)
+
+    def _dp_exact_sparse(
+        self, indices: Sequence[int], counts: Sequence[int], target: int
+    ) -> bool:
+        int_weights, denom = self.ctx.exact_scaled
+        cap = knapsack.strict_cap_int(self.capacity * denom)
+        mw = knapsack.min_weight_for_profit(
+            [int_weights[i] for i in indices], counts, target
+        )
+        return not (mw is not None and mw <= cap)
+
 
 class SeparationChecker:
     """Validity checker for Weight Separation assignments.
@@ -247,8 +321,9 @@ class SeparationChecker:
         *,
         use_quick_test: bool = True,
         linear_mode: bool = False,
+        total_weight: Optional[Fraction] = None,
     ) -> None:
-        self.ctx = _WeightsContext(weights)
+        self.ctx = _WeightsContext(weights, total=total_weight)
         self.problem = problem
         self.use_quick_test = use_quick_test
         self.linear_mode = linear_mode
@@ -323,6 +398,65 @@ class SeparationChecker:
             return False
         return self._full(tickets, total)
 
+    def check_sparse(
+        self, indices: Sequence[int], counts: Sequence[int], total: int
+    ) -> bool:
+        """Identical decision to :meth:`check` on the corresponding dense
+        vector (same contract as ``RestrictionChecker.check_sparse``)."""
+        self.stats.checks += 1
+        if total <= 0:
+            return False
+        w = self.ctx.weights
+        holder_weights = [w[i] for i in indices]
+        if self.use_quick_test:
+            ub = knapsack.fractional_upper_bound(
+                holder_weights, counts, self.cap_low
+            ) + knapsack.fractional_upper_bound(holder_weights, counts, self.cap_high)
+            if ub < total:
+                self.stats.quick_valid += 1
+                return True
+            lb = knapsack.greedy_lower_bound(
+                holder_weights, counts, self.cap_low
+            ) + knapsack.greedy_lower_bound(holder_weights, counts, self.cap_high)
+            if lb >= total:
+                self.stats.quick_invalid += 1
+                return False
+            self.stats.quick_uncertain += 1
+        if self.linear_mode:
+            return False
+        self.stats.dp_calls += 1
+        if len(counts) * max(total, 1) <= _EXACT_DP_CELL_LIMIT:
+            return self._full_exact_sparse(indices, counts, total)
+        scale_total = Fraction(1 << knapsack.SCALE_BITS)
+        cap_low = knapsack.strict_cap_int(self.problem.alpha * scale_total)
+        cap_high = knapsack.strict_cap_int((1 - self.problem.beta) * scale_total)
+        idx = np.asarray(indices, dtype=np.intp)
+        down = self.ctx.rounded_down[idx]
+        k1_hi = knapsack.max_profit_under_numpy(down, counts, cap_low)
+        k2_hi = knapsack.max_profit_under_numpy(down, counts, cap_high)
+        if k1_hi + k2_hi < total:
+            return True
+        up = self.ctx.rounded_up[idx]
+        k1_lo = knapsack.max_profit_under_numpy(up, counts, cap_low)
+        k2_lo = knapsack.max_profit_under_numpy(up, counts, cap_high)
+        if k1_lo + k2_lo >= total:
+            return False
+        self.stats.exact_fallbacks += 1
+        return self._full_exact_sparse(indices, counts, total)
+
+    def _full_exact_sparse(
+        self, indices: Sequence[int], counts: Sequence[int], total: int
+    ) -> bool:
+        int_weights, denom = self.ctx.exact_scaled
+        holder_ints = [int_weights[i] for i in indices]
+        k1 = knapsack.max_profit_under(
+            holder_ints, counts, knapsack.strict_cap_int(self.cap_low * denom)
+        )
+        k2 = knapsack.max_profit_under(
+            holder_ints, counts, knapsack.strict_cap_int(self.cap_high * denom)
+        )
+        return k1 + k2 < total
+
 
 def make_checker(
     problem: WeightReductionProblem,
@@ -330,9 +464,14 @@ def make_checker(
     *,
     use_quick_test: bool = True,
     linear_mode: bool = False,
+    total_weight: Optional[Fraction] = None,
 ) -> "RestrictionChecker | SeparationChecker":
     """Build the appropriate checker; WQ is checked via its WR reduction
-    (Theorem 2.2: the two validity predicates coincide)."""
+    (Theorem 2.2: the two validity predicates coincide).
+
+    ``total_weight``, when given, must equal ``sum(weights)`` exactly; it
+    lets epoch-style callers skip the O(n) sum on re-solves.
+    """
     if linear_mode:
         # Linear mode is *defined* by relying on the quasilinear bounds only.
         use_quick_test = True
@@ -340,10 +479,18 @@ def make_checker(
         problem = problem.to_restriction()
     if isinstance(problem, WeightRestriction):
         return RestrictionChecker(
-            weights, problem, use_quick_test=use_quick_test, linear_mode=linear_mode
+            weights,
+            problem,
+            use_quick_test=use_quick_test,
+            linear_mode=linear_mode,
+            total_weight=total_weight,
         )
     if isinstance(problem, WeightSeparation):
         return SeparationChecker(
-            weights, problem, use_quick_test=use_quick_test, linear_mode=linear_mode
+            weights,
+            problem,
+            use_quick_test=use_quick_test,
+            linear_mode=linear_mode,
+            total_weight=total_weight,
         )
     raise TypeError(f"unknown weight reduction problem: {problem!r}")

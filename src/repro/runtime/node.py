@@ -87,6 +87,19 @@ class RuntimeNode:
             await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks.clear()
 
+    def detach(self) -> list[asyncio.Task]:
+        """Synchronously cancel the pump tasks (epoch retirement).
+
+        Callable from inside protocol callbacks -- cancellation only lands
+        at the tasks' next ``await``, so the caller's synchronous
+        continuation completes first.  The caller must gather the returned
+        tasks during shutdown.
+        """
+        tasks, self._tasks = self._tasks, []
+        for task in tasks:
+            task.cancel()
+        return tasks
+
     # -- data path ----------------------------------------------------------------
     def queue_send(self, dst: int, message: Any) -> None:
         """Called synchronously from inside party handlers."""

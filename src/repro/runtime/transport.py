@@ -56,10 +56,24 @@ class Transport:
 
     # -- wiring -------------------------------------------------------------------
     def bind(self, pid: int, handler: Handler) -> None:
-        """Attach the delivery callback for node ``pid`` (before start)."""
+        """Attach the delivery callback for node ``pid`` (before start).
+
+        Transports that support node replacement (the epoch service
+        retiring one committee's nodes and binding the next's) accept a
+        ``bind`` after :meth:`unbind` of the same pid, even mid-run.
+        """
         if pid in self._handlers:
             raise ValueError(f"duplicate transport binding for node {pid}")
         self._handlers[pid] = handler
+
+    def unbind(self, pid: int) -> None:
+        """Detach node ``pid`` so the id can be rebound (epoch rotation).
+
+        Messages already addressed to the node are dropped, exactly as if
+        it had crashed; subclasses additionally release any per-node
+        delivery machinery.
+        """
+        self._handlers.pop(pid, None)
 
     @property
     def node_ids(self) -> list[int]:
@@ -162,18 +176,46 @@ class InProcTransport(Transport):
     ) -> None:
         super().__init__(registry, faults=faults, record=record)
         self._queues: dict[int, asyncio.Queue] = {}
-        self._pumps: list[asyncio.Task] = []
+        self._pumps: dict[int, asyncio.Task] = {}
+        self._started = False
 
     async def start(self) -> None:
+        self._started = True
         for pid in self.node_ids:
-            self._queues[pid] = asyncio.Queue()
-            self._pumps.append(asyncio.ensure_future(self._pump(pid)))
+            if pid not in self._queues:
+                self._attach(pid)
+
+    def _attach(self, pid: int) -> None:
+        self._queues[pid] = asyncio.Queue()
+        self._pumps[pid] = asyncio.ensure_future(self._pump(pid))
+
+    def bind(self, pid: int, handler: Handler) -> None:
+        super().bind(pid, handler)
+        # Mid-run bind (epoch rotation): wire the queue and pump now; the
+        # usual pre-start binds get theirs in start().
+        if self._started:
+            self._attach(pid)
+
+    def unbind(self, pid: int) -> None:
+        super().unbind(pid)
+        pump = self._pumps.pop(pid, None)
+        if pump is not None:
+            pump.cancel()
+        queue = self._queues.pop(pid, None)
+        if queue is not None:
+            # Queued messages die with the node; resolve them so
+            # quiescence tracking doesn't count them in flight forever.
+            while not queue.empty():
+                queue.get_nowait()
+                self._resolve()
 
     async def stop(self) -> None:
-        for task in self._pumps:
+        self._started = False
+        pumps = list(self._pumps.values())
+        for task in pumps:
             task.cancel()
-        if self._pumps:
-            await asyncio.gather(*self._pumps, return_exceptions=True)
+        if pumps:
+            await asyncio.gather(*pumps, return_exceptions=True)
         self._pumps.clear()
         self._queues.clear()
         await super().stop()

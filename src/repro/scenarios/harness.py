@@ -370,6 +370,8 @@ class ScenarioResult:
     sim_events: Optional[int] = None
     #: runtime backends only: wall-clock duration (nondeterministic)
     wall_seconds: Optional[float] = None
+    #: service workloads only: ops/sec, latency percentiles, epoch records
+    service: Optional[dict] = None
 
     def record(self) -> dict:
         """JSON-able snapshot.  On the sim backend every field is a pure
@@ -400,6 +402,8 @@ class ScenarioResult:
             rec["sim_events"] = self.sim_events
         else:
             rec["wall_seconds"] = self.wall_seconds
+        if self.service is not None:
+            rec["service"] = self.service
         return rec
 
     def record_json(self) -> str:
@@ -459,6 +463,16 @@ def run_scenario(
 
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; one of {BACKENDS}")
+    if spec.workload.kind == "service":
+        # Service workloads (open-loop load + committee rotation) have
+        # their own driver stack; they return the same ScenarioResult.
+        from ..service.scenario import run_service_spec
+
+        if spec.protocol != "smr":
+            raise ValueError("service workloads run on the smr protocol")
+        return run_service_spec(
+            spec, backend=backend, timeout=timeout, committee=committee
+        )
     if committee is None:
         committee = Committee.from_weight_spec(spec.weights, seed=spec.seed)
     driver_cls = _DRIVERS[spec.protocol]

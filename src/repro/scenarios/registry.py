@@ -88,6 +88,20 @@ _ALL = [
         params=(("mode", "tight"), ("beta", "1/2")),
         description="tight threshold-signed checkpoint (one extra vote round)",
     ),
+    ScenarioSpec(
+        name="epoch-service",
+        protocol="smr",
+        weights=WeightSpec(kind="zipf", n=6, total=600, skew=1.2),
+        workload=WorkloadSpec(payload_size=32, epochs=3, kind="service"),
+        params=(
+            ("arrival_rate", 60.0),
+            ("requests", 36),
+            ("slot_interval", 0.05),
+            ("slots_per_epoch", 3),
+        ),
+        description="open-loop load over 3 committee generations with "
+        "checkpoint handover and incremental re-solves",
+    ),
 ]
 
 SCENARIOS: dict[str, ScenarioSpec] = {spec.name: spec for spec in _ALL}

@@ -110,21 +110,36 @@ class NetSpec:
     delay_high: float = 0.1
 
 
+#: workload kinds: ``batch`` is the classic fixed-instance run; ``service``
+#: is the epoch service's open-loop request stream with committee rotation
+WORKLOAD_KINDS = ("batch", "service")
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """What the parties are asked to do.
 
-    ``epochs`` counts SMR epochs / checkpoints (RBC and VABA run one
-    instance).  ``epoch_times`` optionally staggers epoch starts in
-    scenario time (default: everything fires at t=0) -- the hook that
-    lets the partition-heal scenario propose an epoch after the heal.
+    For ``kind="batch"`` (the default), ``epochs`` counts SMR epochs /
+    checkpoints (RBC and VABA run one instance) and ``epoch_times``
+    optionally staggers epoch starts in scenario time (default:
+    everything fires at t=0) -- the hook that lets the partition-heal
+    scenario propose an epoch after the heal.  For ``kind="service"``,
+    ``epochs`` counts committee *generations* (so ``epochs - 1``
+    rotations) and the open-loop load is configured through scenario
+    params (``arrival_rate``, ``requests``, ``slot_interval``,
+    ``slots_per_epoch``).
     """
 
     payload_size: int = 32
     epochs: int = 1
     epoch_times: tuple[float, ...] = ()
+    kind: str = "batch"
 
     def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; one of {WORKLOAD_KINDS}"
+            )
         if self.payload_size < 1:
             raise ValueError("payload_size must be positive")
         if self.epochs < 1:
@@ -191,10 +206,17 @@ class ScenarioSpec:
                 "link_delays": [list(d) for d in self.faults.link_delays],
             },
             "net": {"delay_low": self.net.delay_low, "delay_high": self.net.delay_high},
+            # "kind" is serialized only when non-default, so batch specs
+            # (and their golden records) keep their historical encoding
             "workload": {
                 "payload_size": self.workload.payload_size,
                 "epochs": self.workload.epochs,
                 "epoch_times": list(self.workload.epoch_times),
+                **(
+                    {"kind": self.workload.kind}
+                    if self.workload.kind != "batch"
+                    else {}
+                ),
             },
             "seed": self.seed,
             "params": [list(p) for p in self.params],
@@ -233,6 +255,7 @@ class ScenarioSpec:
                 payload_size=wl.get("payload_size", 32),
                 epochs=wl.get("epochs", 1),
                 epoch_times=tuple(wl.get("epoch_times", ())),
+                kind=wl.get("kind", "batch"),
             ),
             seed=data.get("seed", 0),
             params=tuple((k, v) for k, v in data.get("params", ())),

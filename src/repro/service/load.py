@@ -1,0 +1,68 @@
+"""Open-loop workload generation for the epoch service.
+
+An *open-loop* client submits on its own clock -- a Poisson arrival
+process -- regardless of how fast the service commits, which is what
+exposes queueing under load (a closed loop self-throttles and hides it).
+Arrival times are drawn once, up front, from a seeded RNG, so a load
+profile is deterministic: on the sim backend the whole run (arrivals,
+slot cuts, commit times, the latency percentiles) is a pure function of
+the seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["LoadGenerator"]
+
+
+class LoadGenerator:
+    """Poisson arrivals of fixed-size opaque requests.
+
+    ``rate`` is the arrival intensity in requests per scenario second
+    (virtual seconds on the sim backend, wall seconds on the runtime);
+    ``requests`` bounds the run.  Payloads are deterministic per request
+    index, so committed logs are reproducible byte-for-byte.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        requests: int,
+        *,
+        payload_size: int = 32,
+        seed: int = 0,
+        start: float = 0.0,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if requests < 1:
+            raise ValueError("load needs at least one request")
+        if payload_size < 1:
+            raise ValueError("payload_size must be positive")
+        self.rate = rate
+        self.total = requests
+        self.payload_size = payload_size
+        self.seed = seed
+        rng = random.Random(f"load|{seed}|{rate}|{requests}")
+        t = start
+        times = []
+        for _ in range(requests):
+            t += rng.expovariate(rate)
+            times.append(t)
+        #: arrival times in scenario seconds, ascending
+        self.arrival_times: tuple[float, ...] = tuple(times)
+
+    def payload(self, index: int) -> bytes:
+        """Deterministic request body for arrival ``index``."""
+        block = hashlib.sha256(f"req|{self.seed}|{index}".encode()).digest()
+        reps = (self.payload_size + len(block) - 1) // len(block)
+        return (block * reps)[: self.payload_size]
+
+    def install(self, service) -> None:
+        """Schedule every arrival on the service's backend clock."""
+        for index, when in enumerate(self.arrival_times):
+            service.backend.call_later(
+                when, lambda i=index: service.submit(self.payload(i))
+            )

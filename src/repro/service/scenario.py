@@ -1,0 +1,145 @@
+"""Run a ``kind="service"`` workload from a declarative scenario spec.
+
+This is the bridge between the scenario engine and the epoch service:
+:func:`run_service_spec` takes the same :class:`ScenarioSpec` the harness
+takes, derives a deterministic weight-drift schedule (each rotation bumps
+one party's stake, so every re-solve after the first exercises the
+incremental path), and returns the harness's
+:class:`~repro.scenarios.harness.ScenarioResult` shape with the
+service-level numbers (ops/sec, latency percentiles, per-epoch records)
+attached under ``service``.
+
+On the sim backend the whole record -- arrivals, slot cuts, rotations,
+percentiles -- is a pure function of the spec, exactly like batch
+scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..scenarios.spec import ScenarioSpec
+from .backends import InprocServiceBackend, SimServiceBackend
+from .epoch import DriftSchedule, EpochManager
+from .load import LoadGenerator
+from .service import EpochService, ServiceConfig
+
+__all__ = ["run_service_spec", "drift_schedule_for"]
+
+#: backends a service workload runs on (tcp rotation is future work: the
+#: transport would need cross-process rebinding)
+SERVICE_BACKENDS = ("sim", "inproc")
+
+
+def drift_schedule_for(
+    initial: tuple[int, ...], epochs: int
+) -> DriftSchedule:
+    """The spec-derived stake evolution: rotation ``e`` bumps party
+    ``(e-1) % n`` by ~1/8 of its stake -- a small delta, so the manager's
+    re-solve hits the incremental fast path."""
+    n = len(initial)
+    drifts = []
+    current = list(initial)
+    for e in range(1, epochs):
+        i = (e - 1) % n
+        current[i] = current[i] + max(1, current[i] // 8)
+        drifts.append((e, i, current[i]))
+    return DriftSchedule(initial=tuple(initial), drifts=tuple(drifts))
+
+
+def run_service_spec(
+    spec: ScenarioSpec, *, backend: str = "sim", timeout: float = 60.0, committee=None
+):
+    """Execute a service-workload spec; returns a ``ScenarioResult``."""
+    from ..api.committee import Committee
+    from ..scenarios.harness import ScenarioResult
+
+    if backend not in SERVICE_BACKENDS:
+        raise ValueError(
+            f"service workloads run on {SERVICE_BACKENDS}, not {backend!r}"
+        )
+    if spec.faults.crashes or spec.faults.partition or spec.faults.link_delays:
+        raise ValueError("service workloads do not take fault plans (yet)")
+    if committee is None:
+        committee = Committee.from_weight_spec(spec.weights, seed=spec.seed)
+    committee.validate(
+        f_w=spec.f_w,
+        payload_size=spec.workload.payload_size,
+        epochs=spec.workload.epochs,
+    )
+
+    rate = float(spec.param("arrival_rate", 100.0))
+    requests = int(spec.param("requests", 32))
+    slot_interval = float(spec.param("slot_interval", 0.05))
+    slots_per_epoch = int(spec.param("slots_per_epoch", 3))
+
+    manager = EpochManager(
+        drift_schedule_for(tuple(committee.int_weights), spec.workload.epochs),
+        f_w=spec.f_w,
+    )
+    config = ServiceConfig(
+        f_w=spec.f_w,
+        slot_interval=slot_interval,
+        slots_per_epoch=slots_per_epoch,
+        max_time=timeout,
+    )
+    if backend == "sim":
+        svc_backend = SimServiceBackend(
+            seed=spec.seed,
+            delay_low=spec.net.delay_low,
+            delay_high=spec.net.delay_high,
+        )
+    else:
+        svc_backend = InprocServiceBackend()
+    load = LoadGenerator(
+        rate,
+        requests,
+        payload_size=spec.workload.payload_size,
+        seed=spec.seed,
+    )
+    service = EpochService(
+        svc_backend,
+        manager,
+        config,
+        name=spec.name,
+        seed=spec.seed,
+        load=load,
+    )
+    result = service.run()
+
+    decided = (
+        {str(pid): d for pid, d in sorted(service.epoch_party_digests[-1].items())}
+        if service.epoch_party_digests
+        else {}
+    )
+    service_section = result.record()["service"]
+    if result.error:
+        service_section = {**service_section, "error": result.error}
+    sim_time: Optional[float] = None
+    sim_events: Optional[int] = None
+    wall_seconds: Optional[float] = None
+    if backend == "sim":
+        sim_time = svc_backend.sim_time
+        sim_events = svc_backend.sim_events
+    else:
+        wall_seconds = result.elapsed_seconds
+    return ScenarioResult(
+        spec=spec,
+        backend=backend,
+        n_real=committee.n,
+        n_nodes=committee.n,
+        weights_digest=committee.weights_digest,
+        completed=result.completed,
+        decided=decided,
+        count_comparable=False,
+        messages=result.messages,
+        bytes=result.bytes,
+        by_type=result.by_type,
+        bytes_by_type=result.bytes_by_type,
+        dropped_messages=0,
+        delayed_messages=0,
+        sim_time=sim_time,
+        sim_events=sim_events,
+        wall_seconds=wall_seconds,
+        service=service_section,
+    )

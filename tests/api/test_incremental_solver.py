@@ -1,0 +1,130 @@
+"""IncrementalSolver: the fast path must be invisible in the output.
+
+Oracle property: for any small stake delta, solving on the patched
+price stream yields ticket-for-ticket the same assignment (and the same
+probe sequence) as a cold solve of the new weights.  The fast path is an
+optimization, never an approximation.
+"""
+
+import random
+
+import pytest
+
+from repro.api import Committee, IncrementalSolver, solve_with_policy
+from repro.core import WeightRestriction
+
+PROBLEM = WeightRestriction("1/3", "1/2")
+
+
+def _zipf_weights(n, seed=7):
+    return tuple(Committee.synthetic("zipf", n=n, total=n * 100, skew=1.2, seed=seed).int_weights)
+
+
+def _cold(ws):
+    solver = IncrementalSolver(PROBLEM)
+    result = solver.solve(ws)
+    assert solver.last_mode == "cold"
+    return result
+
+
+class TestOracleEquality:
+    def test_single_party_deltas_match_cold_solve(self):
+        base = _zipf_weights(160)
+        rng = random.Random(13)
+        mismatches = 0
+        for _ in range(20):
+            i = rng.randrange(len(base))
+            bump = rng.choice([-1, 1]) * max(1, base[i] // 10)
+            ws = list(base)
+            ws[i] = max(1, ws[i] + bump)
+            ws = tuple(ws)
+
+            solver = IncrementalSolver(PROBLEM)
+            solver.solve(base)
+            inc = solver.solve(ws)
+            assert solver.last_mode == "incremental"
+            assert solver.last_changed == (1 if ws != base else 0)
+            assert solver.incremental_hits == 1
+
+            cold = _cold(ws)
+            if (
+                inc.assignment.tickets != cold.assignment.tickets
+                or inc.achieved != cold.achieved
+                or inc.probes != cold.probes
+            ):
+                mismatches += 1
+        assert mismatches == 0
+
+    def test_matches_the_registry_swiper_policy(self):
+        base = _zipf_weights(60)
+        ws = (base[0] + 5, *base[1:])
+        solver = IncrementalSolver(PROBLEM)
+        solver.solve(base)
+        inc = solver.solve(ws)
+        assert solver.last_mode == "incremental"
+        oracle = solve_with_policy(PROBLEM, Committee.from_weights(ws), "swiper")
+        assert inc.assignment.tickets == oracle.assignment.tickets
+        assert inc.achieved == oracle.achieved
+
+    def test_chained_drifts_stay_equal(self):
+        ws = list(_zipf_weights(80))
+        solver = IncrementalSolver(PROBLEM)
+        solver.solve(tuple(ws))
+        for step in range(6):
+            i = step % len(ws)
+            ws[i] += max(1, ws[i] // 8)
+            inc = solver.solve(tuple(ws))
+            assert solver.last_mode == "incremental"
+            cold = _cold(tuple(ws))
+            assert inc.assignment.tickets == cold.assignment.tickets
+            assert inc.probes == cold.probes
+        assert solver.incremental_hits == 6
+
+
+class TestFallbacks:
+    def test_first_solve_is_cold(self):
+        solver = IncrementalSolver(PROBLEM)
+        solver.solve(_zipf_weights(20))
+        assert solver.last_mode == "cold"
+        assert solver.incremental_hits == 0
+
+    def test_large_delta_falls_back_to_cold(self):
+        base = _zipf_weights(40)
+        solver = IncrementalSolver(PROBLEM, max_delta=4)
+        solver.solve(base)
+        ws = tuple(w + 1 for w in base)  # every party changed
+        result = solver.solve(ws)
+        assert solver.last_mode == "cold"
+        assert result.assignment.tickets == _cold(ws).assignment.tickets
+
+    def test_shrinking_committee_falls_back_to_cold(self):
+        base = _zipf_weights(40)
+        solver = IncrementalSolver(PROBLEM)
+        solver.solve(base)
+        solver.solve(base[:-1])
+        assert solver.last_mode == "cold"
+
+    def test_joining_party_is_incremental(self):
+        base = _zipf_weights(40)
+        solver = IncrementalSolver(PROBLEM)
+        solver.solve(base)
+        ws = (*base, 50)
+        inc = solver.solve(ws)
+        assert solver.last_mode == "incremental"
+        assert inc.assignment.tickets == _cold(ws).assignment.tickets
+
+    def test_unchanged_weights_reuse_the_stream(self):
+        base = _zipf_weights(40)
+        solver = IncrementalSolver(PROBLEM)
+        first = solver.solve(base)
+        again = solver.solve(base)
+        assert solver.last_mode == "incremental"
+        assert solver.last_changed == 0
+        assert again.assignment.tickets == first.assignment.tickets
+
+
+class TestValidation:
+    def test_zero_total_weight_raises(self):
+        solver = IncrementalSolver(PROBLEM)
+        with pytest.raises((ValueError, ZeroDivisionError)):
+            solver.solve((0, 0, 0))

@@ -314,3 +314,47 @@ class TestScenarioCommand:
     def test_missing_name_exits_2(self, capsys):
         assert main(["scenario"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestServe:
+    _BASE = [
+        "serve", "--weights", "40", "30", "20", "10",
+        "--rate", "150", "--requests", "24",
+        "--slot-interval", "0.02", "--slots-per-epoch", "2",
+    ]
+
+    def test_serve_json_happy_path(self, capsys):
+        code = main([*self._BASE, "--drift", "1:3:15", "--json"])
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["completed"] is True
+        assert record["workload"] == "service"
+        svc = record["service"]
+        assert svc["requests_committed"] == 24
+        assert svc["rotations"] >= 1
+        modes = [ep["solver_mode"] for ep in svc["epochs"]]
+        assert modes[0] == "cold" and "incremental" in modes[1:]
+
+    def test_serve_human_output(self, capsys):
+        assert main(self._BASE) == 0
+        out = capsys.readouterr().out
+        assert "rotations" in out
+        assert "24/24 committed" in out
+
+    def test_infeasible_rotation_is_uniform_error_exit_2(self, capsys):
+        drifts = [arg for i in range(4) for arg in ("--drift", f"1:{i}:0")]
+        code = main([*self._BASE, *drifts, "--json"])
+        assert code == 2
+        err = json.loads(capsys.readouterr().err)
+        assert "epoch 1" in err["error"]
+
+    def test_malformed_drift_exits_2(self, capsys):
+        assert main([*self._BASE, "--drift", "nope"]) == 2
+        assert "E:I:W" in capsys.readouterr().err
+
+    def test_serve_inproc_backend(self, capsys):
+        code = main([*self._BASE, "--backend", "inproc", "--json"])
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["completed"] is True
+        assert record["service"]["requests_committed"] == 24

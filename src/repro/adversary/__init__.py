@@ -1,0 +1,51 @@
+"""Weight-aware Byzantine adversary library and fuzz campaign runner.
+
+Three layers:
+
+* :mod:`repro.adversary.byzantine` -- party-level misbehaviors
+  (equivocation, garbling, silence, forged-share floods);
+* :mod:`repro.adversary.strategies` -- budgeted strategies choosing *who*
+  is corrupted and the :class:`Adversary` applying them to a run;
+* :mod:`repro.adversary.fuzz` -- the seeded campaign runner sampling
+  committees x strategies x protocols, checking the safety invariants of
+  :mod:`repro.adversary.invariants` on every record, and persisting
+  violations as one-line replay specs.
+"""
+
+from .byzantine import alt_payload, forge_share
+from .fuzz import (
+    CampaignResult,
+    EpisodeOutcome,
+    FuzzConfig,
+    build_episode,
+    replay_episode,
+    run_campaign,
+    run_coin_probe,
+    run_dleq_probe,
+    run_episode,
+    run_rs_probe,
+)
+from .invariants import EMPTY_DIGEST, check_record
+from .strategies import STRATEGIES, Adversary, Strategy, StrategyContext, weight_split
+
+__all__ = [
+    "Adversary",
+    "STRATEGIES",
+    "Strategy",
+    "StrategyContext",
+    "weight_split",
+    "alt_payload",
+    "forge_share",
+    "EMPTY_DIGEST",
+    "check_record",
+    "FuzzConfig",
+    "EpisodeOutcome",
+    "CampaignResult",
+    "build_episode",
+    "run_episode",
+    "replay_episode",
+    "run_campaign",
+    "run_dleq_probe",
+    "run_rs_probe",
+    "run_coin_probe",
+]

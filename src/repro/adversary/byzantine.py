@@ -1,0 +1,166 @@
+"""Party-level Byzantine behaviors: the code a corrupted party runs.
+
+Strategies (:mod:`repro.adversary.strategies`) decide *who* is corrupted
+and with which parameters; the functions here rewrite a just-constructed
+party's entry points and handlers to misbehave.  Both execution backends
+build parties through the same driver factory, so instance-level patching
+makes a corruption mean exactly the same thing on the simulator and on
+the live runtime.
+
+Every behavior draws its randomness from a :class:`random.Random` seeded
+by the scenario seed, keeping sim-backend records byte-identical across
+runs -- the property the fuzz campaign's replay specs rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Sequence
+
+from ..crypto.dleq import DleqProof, _challenge
+from ..crypto.threshold_sig import SignatureShare
+
+__all__ = [
+    "alt_payload",
+    "make_silent",
+    "make_rbc_equivocator",
+    "make_smr_equivocator",
+    "make_garbler",
+    "make_share_flooder",
+    "forge_share",
+]
+
+
+def alt_payload(payload: bytes, tag: str = "equivocate") -> bytes:
+    """A deterministic second payload of the same length as ``payload``."""
+    block = hashlib.sha256(tag.encode() + b"|" + payload).digest()
+    reps = (len(payload) + len(block) - 1) // len(block)
+    return (block * reps)[: len(payload)] if payload else block[:1]
+
+
+def make_silent(party) -> None:
+    """Byzantine omission: the party receives nothing and initiates
+    nothing.  Entry points are patched per protocol surface."""
+    party.receive = lambda message, sender: None
+    for entry in ("broadcast_value", "propose_batch", "sign_checkpoint", "propose"):
+        if hasattr(party, entry):
+            setattr(party, entry, lambda *a, **k: None)
+
+
+def _split_send(party, groups, build_message) -> None:
+    """Send ``build_message(0)`` to group 0 and ``build_message(1)`` to
+    group 1 (node ids), instead of one honest broadcast."""
+    for half, dsts in enumerate(groups):
+        message = build_message(half)
+        for dst in dsts:
+            party.send(dst, message)
+
+
+def make_rbc_equivocator(party, groups: Sequence[Sequence[int]]) -> None:
+    """Equivocating RBC sender: one payload to each weight-half."""
+    from ..protocols.reliable_broadcast import RbcSend
+
+    def broadcast_value(payload: bytes) -> None:
+        payloads = (payload, alt_payload(payload))
+        _split_send(party, groups, lambda half: RbcSend(payloads[half]))
+
+    party.broadcast_value = broadcast_value
+
+
+def make_smr_equivocator(party, groups: Sequence[Sequence[int]]) -> None:
+    """Equivocating SMR proposer: conflicting batches to the two halves
+    of its own RBC instance; other instances proceed honestly."""
+    from ..protocols.smr import BatchSend
+
+    def propose_batch(epoch: int, payload: bytes) -> None:
+        payloads = (payload, alt_payload(payload))
+        _split_send(
+            party,
+            groups,
+            lambda half: BatchSend(epoch=epoch, proposer=party.pid, payload=payloads[half]),
+        )
+
+    party.propose_batch = propose_batch
+
+
+def make_garbler(party, protocol: str) -> None:
+    """Wrong-payload voter: echoes a garbled copy of every SEND it sees
+    (attacking the content-keyed vote maps) and withholds its honest
+    echoes and readies entirely."""
+    if protocol == "rbc":
+        from ..protocols.reliable_broadcast import RbcEcho, RbcReady, RbcSend
+
+        def handle_send(message, sender: int) -> None:
+            party.broadcast(RbcEcho(alt_payload(message.payload, "garble")))
+
+        party.on(RbcSend, handle_send)
+        party.on(RbcEcho, lambda message, sender: None)
+        party.on(RbcReady, lambda message, sender: None)
+    else:
+        from ..protocols.smr import BatchEcho, BatchReady, BatchSend
+
+        def handle_send(message, sender: int) -> None:
+            party.broadcast(
+                BatchEcho(
+                    message.epoch,
+                    message.proposer,
+                    alt_payload(message.payload, "garble"),
+                )
+            )
+
+        party.on(BatchSend, handle_send)
+        party.on(BatchEcho, lambda message, sender: None)
+        party.on(BatchReady, lambda message, sender: None)
+
+
+def forge_share(scheme, message: bytes, index: int, rng: random.Random) -> SignatureShare:
+    """A forged signature share under an *honest* signer's index, built to
+    survive every cheap per-item check of the batch verifier.
+
+    The Fiat-Shamir challenge is computed honestly over forged values and
+    all elements are real group members, so the forgery passes the range,
+    membership, and challenge-recomputation checks and reaches the
+    random-linear-combination aggregate -- which fails, driving the
+    bisection down to the per-share oracle.  This is the most expensive
+    rejection path a Byzantine share can force.
+    """
+    group = scheme.group
+    g, h = group.generator, scheme.hash_message(message)
+    y1 = scheme.keys.public_shares[index]
+    y2 = group.fast_power(h, group.random_exponent(rng))
+    a1 = group.fast_power(g, group.random_exponent(rng))
+    a2 = group.fast_power(h, group.random_exponent(rng))
+    c = _challenge(group, g, y1, h, y2, a1, a2)
+    r = group.random_exponent(rng)
+    return SignatureShare(
+        index=index, value=y2, proof=DleqProof(challenge=c, response=r, commit1=a1, commit2=a2)
+    )
+
+
+def make_share_flooder(
+    party,
+    *,
+    honest_indices: Sequence[int],
+    rng: random.Random,
+    flood: int = 8,
+    withhold: bool = True,
+) -> None:
+    """Checkpoint-share flooder: on every ``sign_checkpoint`` the party
+    broadcasts ``flood`` forged shares under honest signer indices (so
+    naive index-keyed collectors would block) and, when ``withhold`` is
+    set, contributes none of its own honest shares."""
+    from ..protocols.checkpointing import CheckpointShare
+
+    original = party.sign_checkpoint
+    indices = list(honest_indices)
+
+    def sign_checkpoint(checkpoint: bytes) -> None:
+        for _ in range(flood):
+            index = indices[rng.randrange(len(indices))]
+            share = forge_share(party.scheme, checkpoint, index, rng)
+            party.broadcast(CheckpointShare(checkpoint=checkpoint, share=share))
+        if not withhold:
+            original(checkpoint)
+
+    party.sign_checkpoint = sign_checkpoint

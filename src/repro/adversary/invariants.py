@@ -1,0 +1,116 @@
+"""Safety invariants machine-checked on every scenario record.
+
+The campaign runner (:mod:`repro.adversary.fuzz`) applies these to each
+episode's unified record; a non-empty return is a violation and becomes
+a one-line replay spec.  The invariants are the paper's correctness
+claims, stated over the record shape:
+
+* **agreement** -- honest parties that decided decided the same value.
+  For SMR the decided digest is computed over the ordered log, so equal
+  digests are simultaneously the *total order* check.
+* **validity** -- with an honest RBC sender, anything delivered is the
+  sender's payload.
+* **liveness** -- when no strategy in the fault plan breaks liveness,
+  the run completed.
+* **gap-free committed log** (service workloads) -- epoch slot ranges
+  are contiguous from slot 0 and every submitted request committed.
+
+Beacon unpredictability is checked by a direct probe
+(:func:`repro.adversary.fuzz.run_coin_probe`) rather than from records:
+no scenario driver exposes the coin's coalition structure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["EMPTY_DIGEST", "check_record"]
+
+#: the digest every driver emits for "no output yet" (sha256 of nothing)
+EMPTY_DIGEST = hashlib.sha256(b"").hexdigest()[:16]
+
+
+def _expected_rbc_digest(spec, record) -> str | None:
+    """The honest sender's payload digest, or ``None`` when the sender is
+    corrupted (no validity claim to check)."""
+    from ..scenarios.harness import _digest, _payload
+
+    adversary = record.get("adversary") or {}
+    corrupted = set(adversary.get("corrupted", ()))
+    live = [
+        pid for pid in range(record["n_real"]) if pid not in spec.faults.crashes
+    ]
+    honest = [pid for pid in live if pid not in corrupted]
+    if not honest:
+        return None
+    sender = min(honest)
+    # An equivocation strategy takes over the sender role entirely.
+    if "equivocate" in adversary.get("strategies", ()):
+        return None
+    return _digest(_payload(spec, sender, 0))
+
+
+def _check_service(record: dict) -> list[str]:
+    violations: list[str] = []
+    service = record.get("service") or {}
+    epochs = service.get("epochs", ())
+    cursor = 0
+    for ep in epochs:
+        if ep["first_slot"] != cursor:
+            violations.append(
+                f"gap in committed log: epoch {ep['epoch']} starts at slot "
+                f"{ep['first_slot']}, expected {cursor}"
+            )
+        if ep["last_slot"] < ep["first_slot"]:
+            violations.append(
+                f"epoch {ep['epoch']} slot range inverted: "
+                f"[{ep['first_slot']}, {ep['last_slot']})"
+            )
+        cursor = ep["last_slot"]
+    if record.get("completed"):
+        submitted = service.get("requests_submitted", 0)
+        committed = service.get("requests_committed", 0)
+        if committed != submitted:
+            violations.append(
+                f"request loss: {committed}/{submitted} committed in a "
+                "completed run"
+            )
+        if epochs and service.get("rotations") != len(epochs) - 1:
+            violations.append(
+                f"rotation count {service.get('rotations')} does not match "
+                f"{len(epochs)} epoch records"
+            )
+    return violations
+
+
+def check_record(spec, record: dict) -> list[str]:
+    """All safety-invariant violations of one scenario ``record`` (the
+    dict from ``ScenarioResult.record()``) executed from ``spec``.
+    Empty list = the record is safe."""
+    violations: list[str] = []
+    adversary = record.get("adversary") or {}
+    expect_liveness = adversary.get("expect_liveness", True)
+
+    if expect_liveness and not record.get("completed"):
+        violations.append("liveness: run did not complete with no "
+                          "liveness-breaking strategy in the fault plan")
+
+    decided = record.get("decided") or {}
+    values = {v for v in decided.values() if v != EMPTY_DIGEST}
+    if len(values) > 1:
+        violations.append(
+            f"agreement: honest parties decided {len(values)} distinct "
+            f"values: {sorted(values)}"
+        )
+
+    if spec.protocol == "rbc" and values:
+        expected = _expected_rbc_digest(spec, record)
+        if expected is not None and values != {expected}:
+            violations.append(
+                f"validity: delivered {sorted(values)} but the honest "
+                f"sender broadcast {expected}"
+            )
+
+    if record.get("service") is not None:
+        violations.extend(_check_service(record))
+    return violations

@@ -66,6 +66,19 @@ _SERVICE_EXPORTS = (
     "WeightSchedule",
 )
 
+#: adversary / fuzz-campaign names re-exported from
+#: :mod:`repro.adversary`, lazily for the same circularity reason (the
+#: adversary package imports the scenario and crypto layers).
+_ADVERSARY_EXPORTS = (
+    "Adversary",
+    "CampaignResult",
+    "FuzzConfig",
+    "STRATEGIES",
+    "check_record",
+    "replay_episode",
+    "run_campaign",
+)
+
 __all__ = [
     "Committee",
     "CommitteeValidationError",
@@ -86,6 +99,7 @@ __all__ = [
     "BackendSpec",
     "Session",
     *_SERVICE_EXPORTS,
+    *_ADVERSARY_EXPORTS,
 ]
 
 
@@ -94,4 +108,8 @@ def __getattr__(name: str):
         from .. import service
 
         return getattr(service, name)
+    if name in _ADVERSARY_EXPORTS:
+        from .. import adversary
+
+        return getattr(adversary, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -248,6 +248,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable JSON output"
     )
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="run a seeded adversarial fuzz campaign (or replay a failure)",
+        description=(
+            "Sample committees, Byzantine strategies, and protocol mixes "
+            "from a seeded RNG, run N episodes, and check the safety "
+            "invariants (agreement, validity, liveness, gap-free service "
+            "log) on every record.  Violations are persisted as one-line "
+            "JSON replay specs; --replay re-runs one byte-identically."
+        ),
+    )
+    fuzz.add_argument(
+        "--episodes", type=int, default=50, help="episodes to run (default: 50)"
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default: 0)"
+    )
+    fuzz.add_argument(
+        "--backend",
+        choices=["sim", "inproc"],
+        default="sim",
+        help="backend for scenario episodes (default: sim)",
+    )
+    fuzz.add_argument(
+        "--timeout", type=float, default=30.0, help="per-episode timeout (s)"
+    )
+    fuzz.add_argument(
+        "--failures-out",
+        default=None,
+        metavar="PATH",
+        help="write violating replay specs (one JSON line each) to PATH",
+    )
+    fuzz.add_argument(
+        "--replay",
+        default=None,
+        metavar="SPEC",
+        help="re-run one replay spec: a JSON line, or @FILE to load the "
+        "first line of a failures file",
+    )
+    fuzz.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+
     return parser
 
 
@@ -644,6 +687,61 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fuzz_command(args: argparse.Namespace) -> int:
+    from .adversary import FuzzConfig, replay_episode, run_campaign
+
+    if args.replay is not None:
+        try:
+            raw = args.replay
+            if raw.startswith("@"):
+                with open(raw[1:], encoding="utf-8") as fh:
+                    raw = fh.readline()
+            spec = json.loads(raw)
+            outcome = replay_episode(spec, timeout=args.timeout)
+        except (ValueError, KeyError, TimeoutError, OSError) as exc:
+            return _fail(args, exc)
+        payload = {
+            "replayed": {k: v for k, v in spec.items() if k != "violations"},
+            "violations": outcome.violations,
+            "skipped": outcome.skipped,
+        }
+        if args.json:
+            print(json.dumps(payload, sort_keys=True))
+        else:
+            print(f"episode   : {spec.get('episode')} (seed {spec.get('seed')})")
+            print(f"kind      : {spec.get('kind')}")
+            print(f"violations: {outcome.violations or 'none'}")
+        return 1 if outcome.violations else 0
+
+    try:
+        config = FuzzConfig(
+            episodes=args.episodes,
+            seed=args.seed,
+            backend=args.backend,
+            timeout=args.timeout,
+        )
+        result = run_campaign(config)
+        if args.failures_out is not None and result.failures:
+            result.write_failures(args.failures_out)
+    except (ValueError, TimeoutError, OSError) as exc:
+        return _fail(args, exc)
+
+    summary = result.summary()
+    if args.json:
+        print(json.dumps({**summary, "failures": result.failures}, sort_keys=True))
+    else:
+        print(f"episodes  : {summary['episodes']} (seed {summary['seed']}, "
+              f"backend {summary['backend']})")
+        print(f"checked   : {summary['checked']}  skipped: {summary['skipped']}")
+        for kind, count in summary["by_kind"].items():
+            print(f"  {kind:<28}: {count}")
+        print(f"violations: {summary['violations']}")
+        for failure in result.failures:
+            line = json.dumps(failure, sort_keys=True)
+            print(f"  replay with: repro fuzz --replay '{line}'")
+    return 1 if result.failures else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -653,6 +751,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve_command(args)
     if args.problem == "scenario":
         return _run_scenario_command(args)
+    if args.problem == "fuzz":
+        return _run_fuzz_command(args)
     return _run_solver_command(args)
 
 

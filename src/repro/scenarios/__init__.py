@@ -9,11 +9,12 @@ named scenarios the CLI and CI sweep.
 
 from .harness import BACKENDS, RunContext, ScenarioResult, run_scenario
 from .registry import INPROC_SCENARIOS, SCENARIOS, get_scenario, scenario_names
-from .spec import FaultSpec, NetSpec, ScenarioSpec, WeightSpec, WorkloadSpec
+from .spec import ByzantineSpec, FaultSpec, NetSpec, ScenarioSpec, WeightSpec, WorkloadSpec
 
 __all__ = [
     "ScenarioSpec",
     "WeightSpec",
+    "ByzantineSpec",
     "FaultSpec",
     "NetSpec",
     "WorkloadSpec",

@@ -88,15 +88,30 @@ class ProtocolDriver:
     #: above it could never complete and would only burn the timeout)
     uses_f_w = True
 
-    def __init__(self, spec: ScenarioSpec, committee) -> None:
+    def __init__(self, spec: ScenarioSpec, committee, adversary=None) -> None:
         self.spec = spec
         self.committee = committee
+        self.adversary = adversary
         self.weights = committee.int_weights
         self.live_real = tuple(
             pid for pid in range(len(self.weights)) if pid not in spec.faults.crashes
         )
         if not self.live_real:
             raise ValueError("fault plan crashes every party; nothing left to run")
+        # Corruption strategies only apply to identity-mapped protocols
+        # (node id == real pid), so the corrupted set is in node-id terms.
+        corrupted = adversary.corrupted if adversary is not None else frozenset()
+        self.honest_real = tuple(
+            pid for pid in self.live_real if pid not in corrupted
+        )
+
+    def observers(self, ctx: "RunContext") -> tuple[int, ...]:
+        """The nodes whose outputs carry correctness claims: live honest
+        nodes (corrupted parties stay live but their state means nothing)."""
+        if self.adversary is None:
+            return tuple(ctx.live_nodes)
+        corrupted = self.adversary.corrupted
+        return tuple(nid for nid in ctx.live_nodes if nid not in corrupted)
 
     @property
     def n_nodes(self) -> int:
@@ -120,12 +135,17 @@ class ProtocolDriver:
 
 
 class RbcDriver(ProtocolDriver):
-    """Weighted Bracha reliable broadcast; the lowest live party sends."""
+    """Weighted Bracha reliable broadcast; the lowest live honest party
+    sends -- unless an equivocation strategy claims the sender role."""
 
-    def __init__(self, spec: ScenarioSpec, committee) -> None:
-        super().__init__(spec, committee)
+    def __init__(self, spec: ScenarioSpec, committee, adversary=None) -> None:
+        super().__init__(spec, committee, adversary)
         self.quorums = committee.quorums(spec.f_w)
-        self.sender = min(self.live_real)
+        override = adversary.sender_override if adversary is not None else None
+        if override is not None:
+            self.sender = override
+        else:
+            self.sender = min(self.honest_real or self.live_real)
         self.payload = _payload(spec, self.sender, 0)
 
     def factory(self, nid: int) -> Party:
@@ -141,13 +161,14 @@ class RbcDriver(ProtocolDriver):
 
     def done(self, ctx: RunContext) -> bool:
         return all(
-            ctx.party(nid).delivered == self.payload for nid in ctx.live_nodes
+            ctx.party(nid).delivered == self.payload
+            for nid in self.observers(ctx)
         )
 
     def outputs(self, ctx: RunContext) -> dict[str, str]:
         return {
             str(nid): _digest(ctx.party(nid).delivered or b"")
-            for nid in ctx.live_nodes
+            for nid in self.observers(ctx)
         }
 
 
@@ -160,8 +181,8 @@ class SmrDriver(ProtocolDriver):
     or after ``heal_at``.
     """
 
-    def __init__(self, spec: ScenarioSpec, committee) -> None:
-        super().__init__(spec, committee)
+    def __init__(self, spec: ScenarioSpec, committee, adversary=None) -> None:
+        super().__init__(spec, committee, adversary)
         from ..protocols.common_coin import deterministic_coin
 
         self.quorums = committee.quorums(spec.f_w)
@@ -199,19 +220,35 @@ class SmrDriver(ProtocolDriver):
             ctx.at(self.spec.workload.start_time(epoch), fire)
 
     def done(self, ctx: RunContext) -> bool:
-        want = len(ctx.live_nodes)
+        if self.adversary is None:
+            want = len(ctx.live_nodes)
+            return all(
+                len(ctx.party(nid).ordered_log(e)) == want
+                for nid in ctx.live_nodes
+                for e in self._required_epochs()
+            )
+        # Under an active adversary only the honest proposers' batches are
+        # guaranteed to commit (a Byzantine proposer's instance may never
+        # terminate); require every honest log to contain all of them.
+        honest = set(self.honest_real)
         return all(
-            len(ctx.party(nid).ordered_log(e)) == want
-            for nid in ctx.live_nodes
+            honest <= {p for p, _ in ctx.party(nid).ordered_log(e)}
+            for nid in self.observers(ctx)
             for e in self._required_epochs()
         )
 
     def outputs(self, ctx: RunContext) -> dict[str, str]:
+        honest = set(self.honest_real)
         out = {}
-        for nid in ctx.live_nodes:
+        for nid in self.observers(ctx):
             h = hashlib.sha256()
             for e in self._required_epochs():
                 for proposer, payload in ctx.party(nid).ordered_log(e):
+                    # A Byzantine proposer's batch may legitimately commit
+                    # at some honest parties and not others; the agreement
+                    # claim covers the honest proposers' sub-log.
+                    if self.adversary is not None and proposer not in honest:
+                        continue
                     h.update(f"{e}|{proposer}|".encode())
                     h.update(payload)
             out[str(nid)] = h.hexdigest()[:16]
@@ -230,8 +267,8 @@ class VabaDriver(ProtocolDriver):
     #: resilience comes from the WR(f_n - eps, f_n) params, not spec.f_w
     uses_f_w = False
 
-    def __init__(self, spec: ScenarioSpec, committee) -> None:
-        super().__init__(spec, committee)
+    def __init__(self, spec: ScenarioSpec, committee, adversary=None) -> None:
+        super().__init__(spec, committee, adversary)
         from ..protocols.vaba import WeightedVabaRunner
         from ..weighted.transform import black_box_setup
 
@@ -281,8 +318,8 @@ class CheckpointDriver(ProtocolDriver):
     """Threshold-signed checkpoints over a blunt WR(f_w, 1/2) setup; one
     checkpoint per workload epoch, ``mode`` / ``beta`` via params."""
 
-    def __init__(self, spec: ScenarioSpec, committee) -> None:
-        super().__init__(spec, committee)
+    def __init__(self, spec: ScenarioSpec, committee, adversary=None) -> None:
+        super().__init__(spec, committee, adversary)
         from ..crypto.group import TEST_GROUP_256
         from ..crypto.threshold_sig import ThresholdSignatureScheme
         from ..weighted.transform import blunt_setup
@@ -323,13 +360,13 @@ class CheckpointDriver(ProtocolDriver):
     def done(self, ctx: RunContext) -> bool:
         return all(
             cp in ctx.party(nid).certificates
-            for nid in ctx.live_nodes
+            for nid in self.observers(ctx)
             for cp in self.checkpoints
         )
 
     def outputs(self, ctx: RunContext) -> dict[str, str]:
         out = {}
-        for nid in ctx.live_nodes:
+        for nid in self.observers(ctx):
             certs = ctx.party(nid).certificates
             blob = "|".join(str(certs.get(cp, "")) for cp in self.checkpoints)
             out[str(nid)] = _digest(blob.encode())
@@ -372,6 +409,8 @@ class ScenarioResult:
     wall_seconds: Optional[float] = None
     #: service workloads only: ops/sec, latency percentiles, epoch records
     service: Optional[dict] = None
+    #: active-adversary runs only: strategies, corrupted set, liveness claim
+    adversary: Optional[dict] = None
 
     def record(self) -> dict:
         """JSON-able snapshot.  On the sim backend every field is a pure
@@ -404,6 +443,8 @@ class ScenarioResult:
             rec["wall_seconds"] = self.wall_seconds
         if self.service is not None:
             rec["service"] = self.service
+        if self.adversary is not None:
+            rec["adversary"] = self.adversary
         return rec
 
     def record_json(self) -> str:
@@ -484,7 +525,16 @@ def run_scenario(
         payload_size=spec.workload.payload_size,
         epochs=spec.workload.epochs,
     )
-    driver = driver_cls(spec, committee)
+    adversary = None
+    if spec.faults.byzantine:
+        from ..adversary.strategies import Adversary
+
+        adversary = Adversary(spec, committee)
+    driver = driver_cls(spec, committee, adversary)
+    if adversary is not None:
+        # Corrupt at construction: both backends build every party
+        # through this factory, so the corruption is backend-agnostic.
+        driver.factory = adversary.wrap_factory(driver.factory)
     faults, crashed, groups, links = _fault_plan(spec, driver)
     live_nodes = tuple(
         nid for nid in range(driver.n_nodes) if nid not in set(crashed)
@@ -499,6 +549,7 @@ def run_scenario(
         n_nodes=driver.n_nodes,
         weights_digest=committee.weights_digest,
         count_comparable=driver.count_comparable,
+        adversary=adversary.describe() if adversary is not None else None,
     )
 
     if backend == "sim":
@@ -536,6 +587,8 @@ def _run_sim(spec, driver, faults, crashed, groups, links, live_nodes, common):
         world.party(nid).crash()
         faults.crash(nid)
     _apply_static_faults(faults, groups, links)
+    if driver.adversary is not None:
+        driver.adversary.install_network_faults(faults, driver.map_pid)
     ctx = RunContext(
         parties=world.parties,
         live_nodes=live_nodes,
@@ -582,17 +635,25 @@ def _run_runtime(
         for nid in crashed:
             cluster.crash_node(nid)
         _apply_static_faults(faults, groups, links)
+        if driver.adversary is not None:
+            driver.adversary.install_network_faults(faults, driver.map_pid)
         if spec.faults.heal_at is not None:
             ctx.at(spec.faults.heal_at, faults.heal)
         driver.start(ctx)
 
+    # A liveness-breaking strategy (e.g. an equivocating RBC sender) may
+    # legitimately never satisfy done(); settle to quiescence instead of
+    # burning the timeout, mirroring the sim's run-to-quiescence.
+    expect_liveness = (
+        driver.adversary.expect_liveness if driver.adversary is not None else True
+    )
     cluster = run_cluster(
         driver.factory,
         driver.n_nodes,
         transport=transport,
         faults=faults,
         setup=setup,
-        stop_when=lambda c: driver.done(holder["ctx"]),
+        stop_when=(lambda c: driver.done(holder["ctx"])) if expect_liveness else None,
         timeout=timeout,
         committee=driver.committee,
     )

@@ -8,7 +8,7 @@ cross-backend acceptance bar.
 
 from __future__ import annotations
 
-from .spec import FaultSpec, NetSpec, ScenarioSpec, WeightSpec, WorkloadSpec
+from .spec import ByzantineSpec, FaultSpec, NetSpec, ScenarioSpec, WeightSpec, WorkloadSpec
 
 __all__ = ["SCENARIOS", "INPROC_SCENARIOS", "get_scenario", "scenario_names"]
 
@@ -101,6 +101,65 @@ _ALL = [
         ),
         description="open-loop load over 3 committee generations with "
         "checkpoint handover and incremental re-solves",
+    ),
+    # -- adversarial scenarios (all liveness-preserving: the registry bar
+    # -- is "completes with one decided value"; the liveness-breaking
+    # -- strategies, e.g. an equivocating RBC sender, live in the fuzz
+    # -- campaign and the adversary test suite instead)
+    ScenarioSpec(
+        name="equivocate-smr",
+        protocol="smr",
+        weights=WeightSpec(kind="explicit", values=_STAKE),
+        faults=FaultSpec(byzantine=(ByzantineSpec("equivocate"),)),
+        description="heaviest affordable proposer equivocates in its own "
+        "instance; honest instances still commit everywhere",
+    ),
+    ScenarioSpec(
+        name="garble-rbc",
+        protocol="rbc",
+        weights=WeightSpec(kind="explicit", values=_STAKE),
+        faults=FaultSpec(byzantine=(ByzantineSpec("garble-echo"),)),
+        description="corrupted parties vote for garbled payloads and "
+        "withhold honest echoes; honest weight alone forms the quorums",
+    ),
+    ScenarioSpec(
+        name="pivot-delay-smr",
+        protocol="smr",
+        weights=WeightSpec(kind="explicit", values=_STAKE),
+        faults=FaultSpec(byzantine=(ByzantineSpec("pivot-delay"),)),
+        description="targeted asynchrony against the pivotal-weight "
+        "parties every quorum must intersect",
+    ),
+    ScenarioSpec(
+        name="adaptive-silence-smr",
+        protocol="smr",
+        weights=WeightSpec(kind="explicit", values=_STAKE),
+        faults=FaultSpec(byzantine=(ByzantineSpec("adaptive-corrupt"),)),
+        description="greedy ticket-maximizing corruption goes silent; "
+        "maximal omission under the f_w weight budget",
+    ),
+    ScenarioSpec(
+        name="share-flood-checkpoint",
+        protocol="checkpoint",
+        weights=WeightSpec(kind="explicit", values=_STAKE),
+        faults=FaultSpec(byzantine=(ByzantineSpec("share-flood"),)),
+        description="corrupted validators flood forged threshold shares "
+        "under honest indices; certificates form from honest tickets",
+    ),
+    ScenarioSpec(
+        name="bad-handover-service",
+        protocol="smr",
+        weights=WeightSpec(kind="zipf", n=6, total=600, skew=1.2),
+        faults=FaultSpec(byzantine=(ByzantineSpec("bad-handover"),)),
+        workload=WorkloadSpec(payload_size=32, epochs=3, kind="service"),
+        params=(
+            ("arrival_rate", 60.0),
+            ("requests", 36),
+            ("slot_interval", 0.05),
+            ("slots_per_epoch", 3),
+        ),
+        description="forged-share floods inside every epoch-rotation "
+        "checkpoint handover; rotations still certify",
     ),
 ]
 

@@ -19,7 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
-__all__ = ["WeightSpec", "FaultSpec", "NetSpec", "WorkloadSpec", "ScenarioSpec"]
+__all__ = [
+    "WeightSpec",
+    "ByzantineSpec",
+    "FaultSpec",
+    "NetSpec",
+    "WorkloadSpec",
+    "ScenarioSpec",
+]
 
 #: weight-distribution kinds understood by :meth:`WeightSpec.materialize`
 WEIGHT_KINDS = (
@@ -84,6 +91,30 @@ class WeightSpec:
 
 
 @dataclass(frozen=True)
+class ByzantineSpec:
+    """One active (Byzantine) adversary strategy in a fault plan.
+
+    ``strategy`` names an entry of the
+    :data:`repro.adversary.STRATEGIES` registry (equivocate,
+    garble-echo, pivot-delay, adaptive-corrupt, share-flood,
+    bad-handover); ``params`` are strategy-specific JSON-scalar options.
+    Which parties get corrupted is *not* part of the spec -- strategies
+    pick their own corruption set under the spec's ``f_w`` weight budget,
+    deterministically from the materialized weights and the seed, so the
+    same entry means the same attack on every backend.
+    """
+
+    strategy: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def param(self, key: str, default=None):
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+
+@dataclass(frozen=True)
 class FaultSpec:
     """The fault plan, in scenario time (sim: virtual seconds; runtime:
     wall seconds -- both regimes use sub-second horizons).
@@ -91,7 +122,9 @@ class FaultSpec:
     ``crashes`` fire at t=0.  ``partition`` (a tuple of pid groups) is
     active from t=0 until ``heal_at`` (``None`` = never heals).
     ``link_delays`` adds fixed latency to directed links for the whole
-    run.  Fault pids refer to *real* parties; drivers that expand parties
+    run.  ``byzantine`` lists active adversary strategies (see
+    :class:`ByzantineSpec`); corrupted parties stay live but misbehave.
+    Fault pids refer to *real* parties; drivers that expand parties
     into virtual users translate them.
     """
 
@@ -99,6 +132,7 @@ class FaultSpec:
     partition: tuple[tuple[int, ...], ...] = ()
     heal_at: Optional[float] = None
     link_delays: tuple[tuple[int, int, float], ...] = ()
+    byzantine: tuple[ByzantineSpec, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -199,11 +233,23 @@ class ScenarioSpec:
                 "values": list(self.weights.values),
             },
             "f_w": self.f_w,
+            # "byzantine" is serialized only when non-empty, so crash-only
+            # specs (and their golden records) keep their historical encoding
             "faults": {
                 "crashes": list(self.faults.crashes),
                 "partition": [list(g) for g in self.faults.partition],
                 "heal_at": self.faults.heal_at,
                 "link_delays": [list(d) for d in self.faults.link_delays],
+                **(
+                    {
+                        "byzantine": [
+                            {"strategy": b.strategy, "params": [list(p) for p in b.params]}
+                            for b in self.faults.byzantine
+                        ]
+                    }
+                    if self.faults.byzantine
+                    else {}
+                ),
             },
             "net": {"delay_low": self.net.delay_low, "delay_high": self.net.delay_high},
             # "kind" is serialized only when non-default, so batch specs
@@ -246,6 +292,13 @@ class ScenarioSpec:
                 partition=tuple(tuple(g) for g in f.get("partition", ())),
                 heal_at=f.get("heal_at"),
                 link_delays=tuple(tuple(d) for d in f.get("link_delays", ())),
+                byzantine=tuple(
+                    ByzantineSpec(
+                        strategy=b["strategy"],
+                        params=tuple((k, v) for k, v in b.get("params", ())),
+                    )
+                    for b in f.get("byzantine", ())
+                ),
             ),
             net=NetSpec(
                 delay_low=n.get("delay_low", 0.01),

@@ -59,7 +59,9 @@ def run_service_spec(
             f"service workloads run on {SERVICE_BACKENDS}, not {backend!r}"
         )
     if spec.faults.crashes or spec.faults.partition or spec.faults.link_delays:
-        raise ValueError("service workloads do not take fault plans (yet)")
+        raise ValueError(
+            "service workloads take byzantine fault-plan entries only (yet)"
+        )
     if committee is None:
         committee = Committee.from_weight_spec(spec.weights, seed=spec.seed)
     committee.validate(
@@ -67,6 +69,13 @@ def run_service_spec(
         payload_size=spec.workload.payload_size,
         epochs=spec.workload.epochs,
     )
+    adversary = None
+    if spec.faults.byzantine:
+        from ..adversary.strategies import Adversary
+
+        # Service workloads attack the epoch machinery, not one protocol
+        # instance, so strategies must support the "service" protocol.
+        adversary = Adversary(spec, committee, protocol="service")
 
     rate = float(spec.param("arrival_rate", 100.0))
     requests = int(spec.param("requests", 32))
@@ -104,6 +113,7 @@ def run_service_spec(
         name=spec.name,
         seed=spec.seed,
         load=load,
+        adversary=adversary,
     )
     result = service.run()
 
@@ -142,4 +152,5 @@ def run_service_spec(
         sim_events=sim_events,
         wall_seconds=wall_seconds,
         service=service_section,
+        adversary=adversary.describe() if adversary is not None else None,
     )

@@ -131,6 +131,7 @@ class EpochService:
         seed: int = 0,
         load: Optional[LoadGenerator] = None,
         on_committed: Optional[Callable[[int, int, bytes], None]] = None,
+        adversary=None,
     ) -> None:
         self.backend = backend
         self.manager = manager
@@ -139,6 +140,9 @@ class EpochService:
         self.seed = seed
         self.load = load
         self.on_committed = on_committed
+        #: optional :class:`repro.adversary.Adversary` attacking epoch
+        #: handovers (service-protocol strategies, e.g. bad-handover)
+        self.adversary = adversary
         self.metrics = ServiceMetrics()
         # Slot ids double as SmrParty epoch numbers; one coin source is
         # shared across rotations because slot ids never repeat.
@@ -389,7 +393,16 @@ class EpochService:
                 on_certified=self._on_certified,
             )
 
-        self._ckpt_group = self.backend.spawn(factory, self.n)
+        build = factory
+        if self.adversary is not None:
+            # Handover attack: corrupted validators (re-selected against
+            # this epoch's stake) misbehave inside the checkpoint protocol.
+            build = self.adversary.wrap_handover_factory(
+                factory,
+                weights=tuple(self.committee.int_weights),
+                epoch=self.epoch,
+            )
+        self._ckpt_group = self.backend.spawn(build, self.n)
         for party in self._ckpt_group.parties:
             party.sign_checkpoint(self._ckpt_digest)
 

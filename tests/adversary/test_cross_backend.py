@@ -1,0 +1,110 @@
+"""One ScenarioSpec fault-plan entry = the same attack on every backend.
+
+The adversary corrupts parties by patching the instances the driver
+factory builds, and both backends build parties through that factory --
+so each strategy must produce the same corruption set, the same honest
+outputs, and (on the sim) byte-identical records run over run.  The
+liveness-breaking case (equivocating RBC sender) is exercised for the
+safety half of the claim: honest parties may deliver nothing, but never
+disagree.
+"""
+
+import json
+
+import pytest
+
+from repro.adversary import check_record
+from repro.scenarios import (
+    ByzantineSpec,
+    FaultSpec,
+    ScenarioSpec,
+    WeightSpec,
+    WorkloadSpec,
+    get_scenario,
+    run_scenario,
+)
+
+STAKE = (40, 25, 15, 10, 5, 3, 1, 1)
+
+#: liveness-preserving registry scenarios that must agree across backends
+CROSS_BACKEND = ("equivocate-smr", "garble-rbc", "share-flood-checkpoint")
+
+
+class TestSimSafety:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "equivocate-smr",
+            "garble-rbc",
+            "pivot-delay-smr",
+            "adaptive-silence-smr",
+            "share-flood-checkpoint",
+            "bad-handover-service",
+        ],
+    )
+    def test_registry_scenario_is_safe_and_live(self, name):
+        spec = get_scenario(name)
+        result = run_scenario(spec, backend="sim")
+        assert result.completed, name
+        record = result.record()
+        assert record["adversary"] is not None
+        assert check_record(spec, record) == [], name
+
+    def test_equivocating_rbc_sender_cannot_split_honest_parties(self):
+        # RBC with a Byzantine designated sender has no liveness
+        # guarantee; the run settles to quiescence and the safety claim
+        # is agreement among whatever was delivered.
+        spec = ScenarioSpec(
+            name="equivocate-rbc",
+            protocol="rbc",
+            weights=WeightSpec(kind="explicit", values=STAKE),
+            faults=FaultSpec(byzantine=(ByzantineSpec("equivocate"),)),
+        )
+        result = run_scenario(spec, backend="sim")
+        record = result.record()
+        assert record["adversary"]["expect_liveness"] is False
+        assert check_record(spec, record) == []
+
+    def test_fault_free_record_shape_is_unchanged(self):
+        # Golden-record compatibility: no adversary in the fault plan
+        # means no "adversary" key materializes in the record.
+        result = run_scenario(get_scenario("uniform-rbc"), backend="sim")
+        assert result.record().get("adversary") is None
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["equivocate-smr", "share-flood-checkpoint"])
+    def test_sim_records_are_byte_identical(self, name):
+        spec = get_scenario(name)
+        a = run_scenario(spec, backend="sim").record()
+        b = run_scenario(spec, backend="sim").record()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+class TestInprocEquivalence:
+    @pytest.mark.parametrize("name", CROSS_BACKEND)
+    def test_decided_values_agree_with_sim(self, name):
+        spec = get_scenario(name)
+        sim = run_scenario(spec, backend="sim")
+        live = run_scenario(spec, backend="inproc", timeout=30)
+        assert live.completed, name
+        assert sim.decided == live.decided, name
+        assert sim.record()["adversary"] == live.record()["adversary"]
+
+    def test_service_handover_attack_runs_on_inproc(self):
+        spec = ScenarioSpec(
+            name="bad-handover-inproc",
+            protocol="smr",
+            weights=WeightSpec(kind="zipf", n=5, total=500, skew=1.2),
+            faults=FaultSpec(byzantine=(ByzantineSpec("bad-handover"),)),
+            workload=WorkloadSpec(payload_size=16, epochs=2, kind="service"),
+            params=(
+                ("arrival_rate", 60.0),
+                ("requests", 12),
+                ("slot_interval", 0.05),
+                ("slots_per_epoch", 2),
+            ),
+        )
+        result = run_scenario(spec, backend="inproc", timeout=30)
+        assert result.completed
+        assert check_record(spec, result.record()) == []

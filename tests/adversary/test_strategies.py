@@ -1,0 +1,166 @@
+"""Adversary construction: budget validation, strategy selection, and
+the deterministic corruption-set choices every backend must agree on.
+
+The paper's adversary corrupts *weight*, not node count (Section 1.1):
+any party set of combined weight strictly below ``f_w * W`` may be
+corrupted, and crashed parties spend the same budget.  These tests pin
+that arithmetic and the per-strategy target selection -- the pieces both
+backends share before a single message is sent.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.adversary import Adversary, STRATEGIES, alt_payload, weight_split
+from repro.adversary.strategies import StrategyContext
+from repro.api import Committee, CommitteeValidationError
+from repro.scenarios import (
+    ByzantineSpec,
+    FaultSpec,
+    ScenarioSpec,
+    WeightSpec,
+)
+
+#: the paper's running-example stake vector (skewed, n=8, W=100)
+STAKE = (40, 25, 15, 10, 5, 3, 1, 1)
+
+
+def _spec(strategy, protocol="smr", weights=STAKE, crashes=()):
+    return ScenarioSpec(
+        name="adv-test",
+        protocol=protocol,
+        weights=WeightSpec(kind="explicit", values=weights),
+        faults=FaultSpec(
+            byzantine=(ByzantineSpec(strategy),) if strategy else (),
+            crashes=crashes,
+        ),
+    )
+
+
+def _adversary(strategy, protocol="smr", weights=STAKE, crashes=()):
+    spec = _spec(strategy, protocol=protocol, weights=weights, crashes=crashes)
+    return Adversary(spec, Committee.from_weights(weights))
+
+
+class TestBudget:
+    def test_corrupted_weight_strictly_below_f_w(self):
+        for name in ("equivocate", "garble-echo", "adaptive-corrupt"):
+            adv = _adversary(name)
+            assert adv.corrupted_weight < Fraction(1, 3), name
+            assert adv.corrupted, name
+
+    def test_combined_crash_and_corrupt_budget_rejected(self):
+        # garble-echo corrupts the heaviest affordable set; adding crashes
+        # that push the combined weight to f_w * W must be rejected --
+        # the budget is shared, not per-fault-type.
+        weights = (10, 10, 10, 10, 10, 10)
+        adv = _adversary("garble-echo", weights=weights)
+        corrupted_w = sum(weights[i] for i in adv.corrupted)
+        assert Fraction(corrupted_w, sum(weights)) < Fraction(1, 3)
+        crash = min(set(range(6)) - set(adv.corrupted))
+        with pytest.raises(CommitteeValidationError):
+            _adversary("garble-echo", weights=weights, crashes=(crash,))
+
+    def test_equivocate_needs_one_affordable_party(self):
+        # Egalitarian 3-party committee: every party holds exactly the
+        # f_w budget, so no single corruption is affordable.
+        with pytest.raises(ValueError, match="fits strictly below"):
+            _adversary("equivocate", weights=(1, 1, 1))
+
+    def test_unknown_strategy_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown byzantine strategy"):
+            _adversary("no-such-strategy")
+
+    def test_protocol_mismatch_is_rejected(self):
+        with pytest.raises(ValueError, match="does not attack protocol"):
+            _adversary("share-flood", protocol="rbc")
+
+
+class TestSelection:
+    def test_equivocate_picks_the_heaviest_affordable_party(self):
+        # Party 0 (weight 40) exceeds the budget (100/3); party 1 (25)
+        # is the heaviest that fits strictly below it.
+        adv = _adversary("equivocate")
+        assert adv.corrupted == frozenset({1})
+
+    def test_rbc_sender_override_is_the_equivocator(self):
+        adv = _adversary("equivocate", protocol="rbc")
+        assert adv.sender_override == min(adv.corrupted)
+        assert _adversary("garble-echo", protocol="rbc").sender_override is None
+
+    def test_selection_is_deterministic(self):
+        a = _adversary("adaptive-corrupt")
+        b = _adversary("adaptive-corrupt")
+        assert a.corrupted == b.corrupted
+        assert a.describe() == b.describe()
+
+    def test_pivot_delay_spends_no_corruption_budget(self):
+        adv = _adversary("pivot-delay")
+        assert adv.corrupted == frozenset()
+        assert adv.expect_liveness
+        strategy = adv.strategies[0]
+        # The pivotal prefix's complement must not reach the echo quorum
+        # (1 - f_w) * W alone; the prefix is minimal in party count.
+        pivotal = strategy.pivotal()
+        total = sum(STAKE)
+        rest = total - sum(STAKE[p] for p in pivotal)
+        assert Fraction(rest, 1) <= (1 - Fraction(1, 3)) * total
+        assert pivotal == (0,)
+
+    def test_liveness_expectation_per_strategy(self):
+        assert not _adversary("equivocate", protocol="rbc").expect_liveness
+        assert _adversary("equivocate", protocol="smr").expect_liveness
+        assert _adversary("garble-echo", protocol="rbc").expect_liveness
+
+    def test_describe_is_json_shaped(self):
+        import json
+
+        desc = _adversary("garble-echo").describe()
+        assert json.loads(json.dumps(desc)) == desc
+        assert desc["strategies"] == ["garble-echo"]
+        assert desc["corrupted"] == sorted(desc["corrupted"])
+
+
+class TestHelpers:
+    def test_weight_split_partitions_and_balances(self):
+        a, b = weight_split(STAKE, range(len(STAKE)))
+        assert sorted(a + b) == list(range(len(STAKE)))
+        wa, wb = sum(STAKE[i] for i in a), sum(STAKE[i] for i in b)
+        # Greedy balance: the gap never exceeds the heaviest single party.
+        assert abs(wa - wb) <= max(STAKE)
+
+    def test_weight_split_is_deterministic(self):
+        assert weight_split(STAKE, range(8)) == weight_split(STAKE, range(8))
+
+    def test_alt_payload_differs_and_keeps_length(self):
+        for payload in (b"", b"x", b"hello world", bytes(64)):
+            alt = alt_payload(payload)
+            assert alt != payload
+            assert len(alt) == max(len(payload), 1)
+        assert alt_payload(b"p", "a") != alt_payload(b"p", "b")
+
+    def test_strategy_registry_covers_every_issue_strategy(self):
+        assert set(STRATEGIES) == {
+            "equivocate",
+            "garble-echo",
+            "pivot-delay",
+            "adaptive-corrupt",
+            "share-flood",
+            "bad-handover",
+        }
+
+    def test_context_param_lookup(self):
+        ctx = StrategyContext(
+            committee=None,
+            weights=STAKE,
+            f_w=Fraction(1, 3),
+            protocol="checkpoint",
+            seed=7,
+            params=(("flood", 3),),
+        )
+        assert ctx.param("flood") == 3
+        assert ctx.param("missing", 9) == 9
+        # Tagged RNGs are independent streams of one seed.
+        assert ctx.rng("a").random() != ctx.rng("b").random()
+        assert ctx.rng("a").random() == ctx.rng("a").random()

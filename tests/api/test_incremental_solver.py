@@ -80,6 +80,41 @@ class TestOracleEquality:
             assert inc.probes == cold.probes
         assert solver.incremental_hits == 6
 
+    def test_patch_chain_cap_compacts_and_stays_oracle_equal(self):
+        """Regression: the patched-stream chain is capped at _MAX_CHAIN.
+
+        A service that rotates many times would otherwise stack one
+        _PatchedPriceStream per epoch, and every extension would walk the
+        whole tower.  Past the cap the cached stream is flattened to a
+        plain (chain-0) stream -- equivalent to a cold rebuild of the
+        price stream -- and the next drifts start a fresh chain.  The
+        flattening must be invisible: every solve along a long drift
+        chain stays ticket-for-ticket equal to a cold solve.
+        """
+        cap = IncrementalSolver._MAX_CHAIN
+        ws = list(_zipf_weights(80))
+        solver = IncrementalSolver(PROBLEM)
+        solver.solve(tuple(ws))
+        chains = []
+        for step in range(2 * cap + 2):
+            i = step % len(ws)
+            ws[i] += max(1, ws[i] // 8)
+            inc = solver.solve(tuple(ws))
+            assert solver.last_mode == "incremental"
+            chains.append(solver._stream._chain)
+            cold = _cold(tuple(ws))
+            assert inc.assignment.tickets == cold.assignment.tickets
+            assert inc.achieved == cold.achieved
+            assert inc.probes == cold.probes
+        # The cached chain never reaches the cap (a chain that grows to
+        # _MAX_CHAIN is compacted before being cached) ...
+        assert max(chains) == cap - 1
+        # ... and the flattening actually happened: after the cap the
+        # cached stream is a plain chain-0 one -- the cold-rebuilt
+        # stream -- rather than a tower that grows without bound.
+        assert 0 in chains[1:]
+        assert solver.incremental_hits == 2 * cap + 2
+
 
 class TestFallbacks:
     def test_first_solve_is_cold(self):

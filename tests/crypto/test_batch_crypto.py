@@ -157,6 +157,78 @@ class TestBatchDleq:
     def test_empty_batch(self):
         assert verify_dleq_batch(G, G.generator, G.hash_to_group(b"h"), []) == []
 
+    def _forged(self, h, rng):
+        """A forgery that survives every cheap per-item check (range,
+        membership, Fiat-Shamir recomputation) and dies only in the
+        random-linear-combination aggregate -- the worst-case input for
+        the bisection."""
+        from repro.crypto.dleq import _challenge
+
+        x = G.random_exponent(rng)
+        y1 = G.exp_g(x)
+        y2 = G.fast_power(h, G.random_exponent(rng))
+        a1 = G.exp_g(G.random_exponent(rng))
+        a2 = G.fast_power(h, G.random_exponent(rng))
+        c = _challenge(G, G.generator, y1, h, y2, a1, a2)
+        return (y1, y2, DleqProof(c, G.random_exponent(rng), a1, a2))
+
+    def _count_oracle_calls(self, monkeypatch):
+        import repro.crypto.dleq as dleq_mod
+
+        calls = []
+        real = dleq_mod.verify_dleq
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(dleq_mod, "verify_dleq", counting)
+        return calls
+
+    def test_all_shares_bad_degrades_to_one_oracle_call_each(self, monkeypatch):
+        """Bisection worst case: every share forged.  Every aggregate
+        fails, the recursion reaches every leaf, and each share is
+        settled by exactly one per-share oracle call -- no looping, no
+        re-verification."""
+        rng = random.Random(23)
+        h = G.hash_to_group(b"batch-base")
+        n = 16  # power of two: the bisection tree is perfectly balanced
+        stmts = [self._forged(h, rng) for _ in range(n)]
+        calls = self._count_oracle_calls(monkeypatch)
+        got = verify_dleq_batch(G, G.generator, h, stmts, rng=rng)
+        assert got == [False] * n
+        assert len(calls) == n
+
+    def test_exactly_one_good_share_survives_the_flood(self, monkeypatch):
+        """The other worst case: one honest share drowning in forgeries.
+        Every chunk above leaf size contains a forgery, so the bisection
+        still bottoms out at one oracle call per share -- and the honest
+        share's verdict must match the per-share oracle (True)."""
+        rng = random.Random(29)
+        h = G.hash_to_group(b"batch-base")
+        n, good_pos = 16, 7
+        stmts = [self._forged(h, rng) for _ in range(n)]
+        x = G.random_exponent(rng)
+        y1, y2, proof = prove_dleq(G, x, G.generator, h, rng)
+        stmts[good_pos] = (y1, y2, proof)
+        calls = self._count_oracle_calls(monkeypatch)
+        got = verify_dleq_batch(G, G.generator, h, stmts, rng=rng)
+        assert got == [i == good_pos for i in range(n)]
+        assert len(calls) == n
+
+    def test_forged_share_passes_every_cheap_check(self):
+        # The forgery helper must actually reach the aggregate: its
+        # per-share oracle verdict is False, but a batch of size one is
+        # the aggregate itself -- both paths must reject it.
+        rng = random.Random(31)
+        h = G.hash_to_group(b"batch-base")
+        y1, y2, proof = self._forged(h, rng)
+        assert proof.commit1 is not None  # not the oracle-fallback path
+        assert not verify_dleq(G, G.generator, y1, h, y2, proof)
+        assert verify_dleq_batch(G, G.generator, h, [(y1, y2, proof)], rng=rng) == [
+            False
+        ]
+
     def test_identity_bases_rejected(self):
         h, stmts, rng = self._statements(G, 3)
         assert verify_dleq_batch(G, 1, h, stmts, rng=rng) == [False] * 3

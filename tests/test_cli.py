@@ -352,9 +352,103 @@ class TestServe:
         assert main([*self._BASE, "--drift", "nope"]) == 2
         assert "E:I:W" in capsys.readouterr().err
 
+    @pytest.mark.parametrize(
+        "drift",
+        ["1:2", "1:2:3:4", "a:b:c", "1:2:", "::", "1.5:2:3"],
+        ids=["two-fields", "four-fields", "non-numeric", "empty-weight",
+             "all-empty", "float-epoch"],
+    )
+    def test_every_malformed_drift_shape_is_uniform_json_error(
+        self, drift, capsys
+    ):
+        # One error contract for the whole subcommand: exit 2 and a
+        # {"error": ...} object on stderr, never a traceback, regardless
+        # of which way the E:I:W spec is malformed.
+        code = main([*self._BASE, "--drift", drift, "--json"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.out == ""
+        err = json.loads(captured.err)
+        assert set(err) == {"error"}
+        assert isinstance(err["error"], str) and err["error"]
+
+    def test_malformed_drift_beats_valid_ones(self, capsys):
+        # A bad spec poisons the invocation even next to valid ones.
+        code = main(
+            [*self._BASE, "--drift", "1:3:15", "--drift", "oops", "--json"]
+        )
+        assert code == 2
+        assert "error" in json.loads(capsys.readouterr().err)
+
     def test_serve_inproc_backend(self, capsys):
         code = main([*self._BASE, "--backend", "inproc", "--json"])
         assert code == 0
         record = json.loads(capsys.readouterr().out)
         assert record["completed"] is True
         assert record["service"]["requests_committed"] == 24
+
+
+class TestFuzz:
+    def test_clean_campaign_exits_0_with_summary(self, capsys):
+        code = main(["fuzz", "--episodes", "12", "--seed", "5", "--json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["episodes"] == 12
+        assert summary["violations"] == 0
+        assert summary["seed"] == 5
+        assert summary["checked"] + summary["skipped"] == 12
+
+    def test_human_output_names_the_kinds(self, capsys):
+        assert main(["fuzz", "--episodes", "8", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "episodes" in out and "violations: 0" in out
+
+    def test_replay_of_a_probe_spec(self, capsys):
+        spec = {"seed": 0, "episode": 0, "kind": "dleq-forge", "probe_seed": 123}
+        code = main(["fuzz", "--replay", json.dumps(spec), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violations"] == []
+        assert payload["replayed"]["kind"] == "dleq-forge"
+
+    def test_replay_strips_recorded_violations(self, capsys):
+        # A persisted failure line carries its violations; replaying it
+        # re-derives the verdict instead of trusting the recording.
+        spec = {"seed": 0, "episode": 0, "kind": "rs-error-flood",
+                "probe_seed": 7, "violations": ["stale: from the recording"]}
+        code = main(["fuzz", "--replay", json.dumps(spec), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violations"] == []
+        assert "violations" not in payload["replayed"]
+
+    def test_replay_from_failures_file(self, tmp_path, capsys):
+        spec = {"seed": 1, "episode": 3, "kind": "coin-unpredictability",
+                "probe_seed": 99}
+        path = tmp_path / "failures.jsonl"
+        path.write_text(json.dumps(spec) + "\n")
+        code = main(["fuzz", "--replay", f"@{path}", "--json"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["violations"] == []
+
+    @pytest.mark.parametrize(
+        "replay",
+        ["not json", "@/no/such/file.jsonl", '{"kind": "no-such-kind"}'],
+        ids=["bad-json", "missing-file", "unknown-kind"],
+    )
+    def test_bad_replay_is_uniform_json_error_exit_2(self, replay, capsys):
+        code = main(["fuzz", "--replay", replay, "--json"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.out == ""
+        err = json.loads(captured.err)
+        assert set(err) == {"error"}
+
+    def test_failures_out_is_not_written_on_a_clean_campaign(self, tmp_path):
+        path = tmp_path / "failures.jsonl"
+        code = main(
+            ["fuzz", "--episodes", "6", "--seed", "5",
+             "--failures-out", str(path), "--json"]
+        )
+        assert code == 0
+        assert not path.exists()

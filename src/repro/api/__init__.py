@@ -79,6 +79,17 @@ _ADVERSARY_EXPORTS = (
     "run_campaign",
 )
 
+#: parallel-engine names re-exported from :mod:`repro.parallel`, lazily
+#: because the proc orchestrator imports the scenario harness (which
+#: imports this facade's committee module).
+_PARALLEL_EXPORTS = (
+    "ParallelExecutor",
+    "ProcCluster",
+    "parse_jobs",
+    "run_proc_scenario",
+    "run_specs",
+)
+
 __all__ = [
     "Committee",
     "CommitteeValidationError",
@@ -100,6 +111,7 @@ __all__ = [
     "Session",
     *_SERVICE_EXPORTS,
     *_ADVERSARY_EXPORTS,
+    *_PARALLEL_EXPORTS,
 ]
 
 
@@ -112,4 +124,8 @@ def __getattr__(name: str):
         from .. import adversary
 
         return getattr(adversary, name)
+    if name in _PARALLEL_EXPORTS:
+        from .. import parallel
+
+        return getattr(parallel, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -125,9 +125,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument(
         "--transport",
-        choices=["inproc", "tcp"],
+        choices=["inproc", "tcp", "proc"],
         default="inproc",
-        help="live transport backend",
+        help="live transport backend (proc = one OS process per party)",
     )
     add_weight_source(cluster, required=False)
     cluster.add_argument(
@@ -230,10 +230,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list built-in scenarios and exit"
     )
     scenario.add_argument(
+        "--all",
+        action="store_true",
+        help="run every registry scenario (a sweep; combine with --jobs)",
+    )
+    scenario.add_argument(
+        "--jobs",
+        default="1",
+        metavar="N",
+        help="worker processes for an --all sweep (a positive int or 'auto'; "
+        "records are byte-identical at any value)",
+    )
+    scenario.add_argument(
         "--backend",
-        choices=["sim", "inproc", "tcp"],
+        choices=["sim", "inproc", "tcp", "proc"],
         default="sim",
-        help="execution backend (default: sim)",
+        help="execution backend (default: sim; proc = one OS process per party)",
     )
     scenario.add_argument(
         "--seed", type=int, default=None, help="override the scenario's seed"
@@ -273,6 +285,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument(
         "--timeout", type=float, default=30.0, help="per-episode timeout (s)"
+    )
+    fuzz.add_argument(
+        "--jobs",
+        default="1",
+        metavar="N",
+        help="worker processes for the campaign (a positive int or 'auto'; "
+        "the result is byte-identical at any value)",
     )
     fuzz.add_argument(
         "--failures-out",
@@ -385,7 +404,84 @@ def _bound_as_json(bound):
 # -- cluster subcommand ------------------------------------------------------------
 
 
+def _run_cluster_proc(args: argparse.Namespace) -> int:
+    """``cluster --transport proc``: process-per-party over the scenario
+    engine (a single-loop cluster cannot host it).  Quorums are always
+    weighted here -- without a weight source the committee is uniform."""
+    from .scenarios.harness import run_scenario
+    from .scenarios.spec import FaultSpec, ScenarioSpec, WeightSpec, WorkloadSpec
+
+    try:
+        committee = _load_committee(args)
+        crash = tuple(sorted(set(args.crash)))
+        if committee is not None:
+            weights = WeightSpec(kind="explicit", values=tuple(committee.int_weights))
+            layout = "weighted"
+        else:
+            if args.n is None:
+                raise ValueError("need --n or a weight source (--weights/...)")
+            weights = WeightSpec(kind="constant", n=args.n, total=args.n * 100)
+            layout = "uniform"
+        spec = ScenarioSpec(
+            name=f"cluster-{args.protocol}",
+            protocol=args.protocol,
+            weights=weights,
+            f_w=str(args.f_w),
+            faults=FaultSpec(crashes=crash),
+            workload=WorkloadSpec(
+                payload_size=args.payload_size,
+                epochs=args.epochs if args.protocol == "smr" else 1,
+            ),
+        )
+        result = run_scenario(spec, backend="proc", timeout=args.timeout)
+    except (ValueError, ZeroDivisionError, RuntimeError, OSError, TimeoutError) as exc:
+        return _fail(args, exc)
+
+    rec = result.record()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "protocol": args.protocol,
+                    "transport": "proc",
+                    "layout": layout,
+                    "n": rec["n_real"],
+                    "crashed": list(crash),
+                    "epochs": args.epochs if args.protocol == "smr" else None,
+                    "payload_size": args.payload_size,
+                    "completed": rec["completed"],
+                    "workers": rec["workers"],
+                    "metrics": {
+                        "messages": rec["messages"],
+                        "bytes": rec["bytes"],
+                        "by_type": rec["by_type"],
+                        "bytes_by_type": rec["bytes_by_type"],
+                        "elapsed_seconds": rec["wall_seconds"],
+                    },
+                }
+            )
+        )
+        return 0
+
+    print(f"protocol        : {args.protocol} ({layout} quorums)")
+    print("transport       : proc (one OS process per party)")
+    print(f"cluster size    : {rec['n_real']} ({rec['n_real'] - len(crash)} live)")
+    print(f"completed       : {rec['completed']}")
+    print(f"worker pids     : {' '.join(str(p) for p in rec['workers'].values())}")
+    print(f"messages        : {rec['messages']}")
+    print(f"payload bytes   : {rec['bytes']}")
+    print(f"wall clock      : {rec['wall_seconds'] * 1000:.1f} ms")
+    for type_name in sorted(rec["by_type"]):
+        print(
+            f"  {type_name:<14}: {rec['by_type'][type_name]} msgs / "
+            f"{rec['bytes_by_type'][type_name]} B"
+        )
+    return 0
+
+
 def _run_cluster_command(args: argparse.Namespace) -> int:
+    if args.transport == "proc":
+        return _run_cluster_proc(args)
     from .core.types import as_fraction
     from .protocols.common_coin import deterministic_coin
     from .protocols.reliable_broadcast import BroadcastParty
@@ -647,15 +743,41 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
             print(f"{spec.name:<20} {spec.protocol:<10} {spec.description}")
         return 0
 
+    if args.all:
+        from .parallel import parse_jobs, run_specs
+
+        try:
+            jobs = parse_jobs(args.jobs)
+            specs = list(SCENARIOS.values())
+            if args.seed is not None:
+                specs = [spec.with_seed(args.seed) for spec in specs]
+            records = run_specs(
+                specs, backend=args.backend, timeout=args.timeout, jobs=jobs
+            )
+        except (KeyError, ValueError, RuntimeError, TimeoutError, OSError) as exc:
+            return _fail(args, exc)
+        if args.json:
+            print(json.dumps({"records": records}, sort_keys=True))
+            return 0
+        for rec in records:
+            print(
+                f"{rec['scenario']:<20} completed={rec['completed']} "
+                f"messages={rec['messages']} bytes={rec['bytes']}"
+            )
+        return 0
+
     if args.name is None:
-        return _fail(args, "need a scenario name (or --list)")
+        return _fail(args, "need a scenario name (or --list/--all)")
     try:
+        from .parallel import parse_jobs
+
+        parse_jobs(args.jobs)  # malformed --jobs fails uniformly
         spec = get_scenario(args.name)
         if args.seed is not None:
             spec = spec.with_seed(args.seed)
         session = Session.from_spec(spec, backend=args.backend, timeout=args.timeout)
         result = session.run()
-    except (KeyError, ValueError, TimeoutError, OSError) as exc:
+    except (KeyError, ValueError, RuntimeError, TimeoutError, OSError) as exc:
         message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
         return _fail(args, message)
 
@@ -714,16 +836,19 @@ def _run_fuzz_command(args: argparse.Namespace) -> int:
         return 1 if outcome.violations else 0
 
     try:
+        from .parallel import parse_jobs
+
+        jobs = parse_jobs(args.jobs)
         config = FuzzConfig(
             episodes=args.episodes,
             seed=args.seed,
             backend=args.backend,
             timeout=args.timeout,
         )
-        result = run_campaign(config)
+        result = run_campaign(config, jobs=jobs)
         if args.failures_out is not None and result.failures:
             result.write_failures(args.failures_out)
-    except (ValueError, TimeoutError, OSError) as exc:
+    except (ValueError, RuntimeError, TimeoutError, OSError) as exc:
         return _fail(args, exc)
 
     summary = result.summary()

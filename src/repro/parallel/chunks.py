@@ -1,0 +1,138 @@
+"""Chunked fan-outs for the batch crypto and block coding engines.
+
+Both helpers split an embarrassingly-parallel workload into coarse
+chunks, ship each chunk through :class:`~repro.parallel.executor.
+ParallelExecutor`, and merge in index order -- the verdict list / stripe
+list is identical to the sequential call for every ``jobs`` value.
+
+Process-boundary discipline:
+
+* a :class:`~repro.crypto.group.SchnorrGroup` carries ``lru_cache``-d
+  exponentiation tables and must not cross a pickle; workers rebuild it
+  from ``(p, generator)`` through a per-process cache (reusing the
+  module singletons' warm tables when the parameters match);
+* batch-verification randomizers are drawn from
+  ``random.Random(f"{seed}|dleq-chunk|{index}")`` -- a pure function of
+  the chunk's position, so verdicts cannot depend on worker scheduling.
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+from typing import Iterable, Optional, Sequence, Union
+
+from .executor import ParallelExecutor
+
+__all__ = ["verify_dleq_batch_chunked", "encode_blocks_striped"]
+
+#: per-process group cache: (p, generator) -> SchnorrGroup
+_GROUPS: dict = {}
+
+#: per-process codec cache: (k, m) -> ReedSolomon
+_CODECS: dict = {}
+
+
+def _group_for(params: tuple[int, int]):
+    group = _GROUPS.get(params)
+    if group is None:
+        from ..crypto.group import RFC3526_GROUP_2048, TEST_GROUP_256, SchnorrGroup
+
+        for known in (TEST_GROUP_256, RFC3526_GROUP_2048):
+            if (known.p, known.generator) == params:
+                group = known
+                break
+        else:
+            group = SchnorrGroup(p=params[0], generator=params[1])
+        _GROUPS[params] = group
+    return group
+
+
+def _verify_chunk(
+    group_params: tuple[int, int],
+    g1: int,
+    g2: int,
+    seed: Union[int, str],
+    assume_y1_member: bool,
+    chunk: tuple[int, list],
+) -> list[bool]:
+    index, statements = chunk
+    from ..crypto.dleq import verify_dleq_batch
+
+    return verify_dleq_batch(
+        _group_for(group_params),
+        g1,
+        g2,
+        statements,
+        rng=random.Random(f"{seed}|dleq-chunk|{index}"),
+        assume_y1_member=assume_y1_member,
+    )
+
+
+def verify_dleq_batch_chunked(
+    group,
+    g1: int,
+    g2: int,
+    statements: Sequence,
+    *,
+    jobs: Union[int, str] = 1,
+    chunk_size: int = 64,
+    seed: Union[int, str] = 0,
+    assume_y1_member: bool = False,
+) -> list[bool]:
+    """Chunked (optionally multi-process) batch DLEQ verification.
+
+    Semantics match :func:`~repro.crypto.dleq.verify_dleq_batch`: one
+    verdict per statement, in order.  Soundness is per-chunk -- each
+    chunk is one random-linear-combination check plus the per-proof
+    bisection on failure -- so a smaller ``chunk_size`` trades a little
+    throughput for finer failure isolation, and the verdicts are the
+    same either way.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    statements = list(statements)
+    chunks = [
+        (i, statements[i * chunk_size : (i + 1) * chunk_size])
+        for i in range((len(statements) + chunk_size - 1) // chunk_size)
+    ]
+    fn = functools.partial(
+        _verify_chunk, (group.p, group.generator), g1, g2, seed, assume_y1_member
+    )
+    parts = ParallelExecutor(jobs).map(fn, chunks)
+    return [verdict for part in parts for verdict in part]
+
+
+def _encode_stripe(
+    params: tuple[int, int], systematic: bool, payload: bytes
+) -> list[bytes]:
+    codec = _CODECS.get(params)
+    if codec is None:
+        from ..codes.reed_solomon import ReedSolomon
+
+        codec = ReedSolomon(*params)
+        _CODECS[params] = codec
+    return codec.encode_blocks(payload, systematic=systematic)
+
+
+def encode_blocks_striped(
+    k: int,
+    m: int,
+    stripes: Iterable[bytes],
+    *,
+    jobs: Union[int, str] = 1,
+    systematic: bool = False,
+    rs: Optional[object] = None,
+) -> list[list[bytes]]:
+    """Encode independent payload stripes with an RS(k, m) code.
+
+    Returns one fragment list per stripe, in stripe order -- exactly
+    ``[rs.encode_blocks(s) for s in stripes]``.  ``rs`` optionally
+    supplies a pre-built codec for the sequential path; workers always
+    rebuild from ``(k, m)`` (the codec's tables are deterministic).
+    """
+    stripes = [bytes(s) for s in stripes]
+    executor = ParallelExecutor(jobs)
+    if executor.jobs == 1 and rs is not None:
+        return [rs.encode_blocks(s, systematic=systematic) for s in stripes]
+    return executor.map(functools.partial(_encode_stripe, (k, m), systematic), stripes)

@@ -1,0 +1,442 @@
+"""The ``proc`` backend: one OS process per party, a parent orchestrator.
+
+Topology::
+
+    parent (ProcCluster) ── mp.Pipe ──> worker 0 (RuntimeNode over ProcMeshTransport)
+                         ── mp.Pipe ──> worker 1
+                         ...                       workers ── TCP mesh ── workers
+
+Lifecycle, over each control pipe (tuples, strictly request/reply after
+the handshake):
+
+1. the parent pickles ``spec.to_dict()`` to every worker; each worker
+   deterministically rebuilds the *same* driver -- committee, adversary,
+   threshold keys -- via :func:`~repro.scenarios.harness.build_driver`
+   (every piece is a pure function of the spec, which is what makes
+   "distribute key material via a spec pickle" sound);
+2. each worker binds ``(host, 0)`` and replies ``("ready", nid, addr)``
+   with the kernel-assigned port; the parent broadcasts the collected
+   peer map -- no hardcoded ports, so concurrent clusters never collide;
+3. the parent polls ``("status",)``; a worker reports its local done
+   flag, cumulative frame counters, idleness, and any failure.  Global
+   completion is distributed termination detection by frame-count
+   conservation: every worker idle and ``sum(sent) == sum(received)``
+   over consecutive polls (a Mattern-style counting argument -- matching
+   totals on a stale snapshot would require a frame observed received
+   but never sent);
+4. ``("finish",)`` collects each node's output, metrics, fault counters,
+   and OS pid; the parent merges them into the unified
+   :class:`~repro.scenarios.harness.ScenarioResult` (message/byte totals
+   sum to exactly the single-process backends' counts).
+
+Failure containment: a worker that dies (or reports a pump failure)
+surfaces as :class:`ProcError`; the parent reaps every child on any
+exit path, including timeout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import time
+import traceback
+from typing import Any, Optional
+
+from ..scenarios.spec import ScenarioSpec
+
+__all__ = ["ProcCluster", "ProcError", "run_proc_scenario", "CRASH_ENV"]
+
+#: test hook: a worker whose node id matches this env var's value exits
+#: hard at startup, exercising the parent's crash surface
+CRASH_ENV = "REPRO_PROC_TEST_CRASH"
+
+#: consecutive conserved-and-idle polls required before trusting the
+#: snapshot (one poll can race a frame between counters)
+_STABLE_POLLS = 2
+
+
+class ProcError(RuntimeError):
+    """A worker process died, wedged, or reported a failure."""
+
+
+# -- worker side -----------------------------------------------------------------------
+
+
+def _worker_entry(spec_dict: dict, nid: int, conn, host: str) -> None:
+    if os.environ.get(CRASH_ENV) == str(nid):
+        os._exit(3)
+    try:
+        asyncio.run(_worker_main(spec_dict, nid, conn, host))
+    except BaseException:  # noqa: BLE001 -- last-resort report, then die
+        try:
+            conn.send(("crashed", nid, traceback.format_exc(limit=8)))
+        except (OSError, ValueError):
+            pass
+        os._exit(1)
+    os._exit(0)
+
+
+def _command_queue(conn, loop: asyncio.AbstractEventLoop) -> asyncio.Queue:
+    """Bridge the control pipe into the worker's event loop."""
+    queue: asyncio.Queue = asyncio.Queue()
+
+    def _drain() -> None:
+        try:
+            while conn.poll():
+                queue.put_nowait(conn.recv())
+        except (EOFError, OSError):
+            loop.remove_reader(conn.fileno())
+            queue.put_nowait(None)  # parent went away: shut down
+
+    loop.add_reader(conn.fileno(), _drain)
+    return queue
+
+
+async def _worker_main(spec_dict: dict, nid: int, conn, host: str) -> None:
+    from ..runtime.cluster import RuntimeMetrics
+    from ..runtime.codec import default_registry
+    from ..runtime.node import RuntimeNode
+    from ..runtime.transport import ProcMeshTransport
+    from ..scenarios.harness import RunContext, _apply_static_faults, _fault_plan, build_driver
+
+    spec = ScenarioSpec.from_dict(spec_dict)
+    driver = build_driver(spec, validate=False)  # parent already vetted
+    faults, crashed, groups, links = _fault_plan(spec, driver)
+    live_nodes = tuple(
+        n for n in range(driver.n_nodes) if n not in set(crashed)
+    )
+    metrics = RuntimeMetrics()
+    transport = ProcMeshTransport(
+        default_registry(), faults=faults, record=metrics.record, host=host
+    )
+    port = await transport.listen()
+    loop = asyncio.get_running_loop()
+    commands = _command_queue(conn, loop)
+    conn.send(("ready", nid, (host, port)))
+
+    command = await commands.get()
+    if command is None or command[0] != "peers":
+        await transport.stop()
+        return
+    transport.configure(nid, command[1])
+
+    node = RuntimeNode(driver.factory(nid), transport, list(range(driver.n_nodes)))
+    ctx = RunContext(
+        parties={nid: node.party},
+        live_nodes=live_nodes,
+        schedule=lambda when, fn: loop.call_later(when, fn),
+    )
+    # The full fault plan goes into every worker's controller; only the
+    # (src, dst == this node) decisions ever fire, so per-worker drop and
+    # delay counts sum to the single-process totals.
+    for crashed_nid in crashed:
+        faults.crash(crashed_nid)
+    _apply_static_faults(faults, groups, links)
+    if driver.adversary is not None:
+        driver.adversary.install_network_faults(faults, driver.map_pid)
+    if spec.faults.heal_at is not None:
+        ctx.at(spec.faults.heal_at, faults.heal)
+    if nid in set(crashed):
+        node.party.crash()
+    node.start()
+    observer = nid in set(driver.observers(ctx))
+    if nid in live_nodes:
+        driver.start_node(ctx, nid)
+
+    while True:
+        command = await commands.get()
+        if command is None or command[0] == "stop":
+            break
+        kind = command[0]
+        if kind == "status":
+            failure = node.failure or transport.failure
+            conn.send(
+                (
+                    "status",
+                    nid,
+                    {
+                        "done": driver.node_done(ctx, nid) if observer else True,
+                        "sent": transport.frames_sent,
+                        "received": transport.frames_received,
+                        "idle": node.idle and transport.quiescent,
+                        "failure": repr(failure) if failure is not None else None,
+                    },
+                )
+            )
+        elif kind == "finish":
+            conn.send(
+                (
+                    "result",
+                    nid,
+                    {
+                        "done": driver.node_done(ctx, nid) if observer else None,
+                        "output": driver.node_output(ctx, nid) if observer else None,
+                        "observer": observer,
+                        "metrics": metrics.as_dict(),
+                        "dropped": faults.dropped_messages,
+                        "delayed": faults.delayed_messages,
+                        "os_pid": os.getpid(),
+                    },
+                )
+            )
+    await node.stop()
+    await transport.stop()
+
+
+# -- parent side -----------------------------------------------------------------------
+
+
+class ProcCluster:
+    """Spawn, wire, poll, and reap one process per party.
+
+    Synchronous by design (the parent never runs an event loop): spawn is
+    blocking, polling is request/reply over pipes, and every exit path
+    funnels through :meth:`_teardown`.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        *,
+        timeout: float = 60.0,
+        committee=None,
+        host: str = "127.0.0.1",
+        poll_interval: float = 0.01,
+    ) -> None:
+        from ..scenarios.harness import (
+            _DRIVERS,
+            RunContext,
+            _fault_plan,
+            build_driver,
+        )
+
+        if spec.workload.kind == "service":
+            raise ValueError(
+                "service workloads run on the sim or inproc backends, not proc"
+            )
+        if not _DRIVERS[spec.protocol].proc_capable:
+            raise ValueError(
+                f"protocol {spec.protocol!r} is not supported on the proc "
+                "backend (its outputs need cross-node aggregation)"
+            )
+        self.spec = spec
+        self.timeout = timeout
+        self.host = host
+        self.poll_interval = poll_interval
+        self.driver = build_driver(spec, committee)
+        _, crashed, _, _ = _fault_plan(spec, self.driver)
+        self.crashed = crashed
+        self.live_nodes = tuple(
+            n for n in range(self.driver.n_nodes) if n not in set(crashed)
+        )
+        if not self.live_nodes:
+            raise ValueError("fault plan crashes every node; nothing left to run")
+        parent_ctx = RunContext(
+            parties={}, live_nodes=self.live_nodes, schedule=lambda when, fn: None
+        )
+        self.observers = tuple(self.driver.observers(parent_ctx))
+        self.expect_liveness = (
+            self.driver.adversary.expect_liveness
+            if self.driver.adversary is not None
+            else True
+        )
+        self._procs: list = []
+        self._conns: list = []
+
+    # -- plumbing -----------------------------------------------------------------
+    def _alive_check(self, nid: int) -> None:
+        proc = self._procs[nid]
+        if not proc.is_alive():
+            raise ProcError(
+                f"proc worker {nid} died (exit code {proc.exitcode})"
+            )
+
+    def _recv(self, nid: int, deadline: float) -> tuple:
+        """One message from worker ``nid``, with crash/timeout surfacing."""
+        conn = self._conns[nid]
+        while True:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"proc cluster timed out after {self.timeout}s waiting on "
+                    f"worker {nid}"
+                )
+            if conn.poll(min(remaining, 0.05)):
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._alive_check(nid)
+                    raise ProcError(f"proc worker {nid} closed its control pipe")
+                if message[0] == "crashed":
+                    raise ProcError(
+                        f"proc worker {message[1]} crashed:\n{message[2]}"
+                    )
+                return message
+            self._alive_check(nid)
+
+    def _request_all(self, command: tuple, reply: str, deadline: float) -> dict[int, Any]:
+        for conn in self._conns:
+            conn.send(command)
+        out = {}
+        for nid in range(len(self._conns)):
+            message = self._recv(nid, deadline)
+            if message[0] != reply:
+                raise ProcError(
+                    f"proc worker {nid} sent {message[0]!r}, expected {reply!r}"
+                )
+            out[message[1]] = message[2]
+        return out
+
+    # -- lifecycle ----------------------------------------------------------------
+    def run(self):
+        from ..scenarios.harness import ScenarioResult
+
+        deadline = time.perf_counter() + self.timeout
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        spec_dict = self.spec.to_dict()
+        try:
+            for nid in range(self.driver.n_nodes):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_entry,
+                    args=(spec_dict, nid, child_conn, self.host),
+                    name=f"repro-proc-{self.spec.name}-{nid}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+            addresses = self._collect_ready(deadline)
+            started_at = time.perf_counter()
+            for conn in self._conns:
+                conn.send(("peers", addresses))
+            self._await_completion(deadline)
+            quiesced_at = time.perf_counter()
+            results = self._request_all(("finish",), "result", deadline)
+        finally:
+            self._teardown()
+
+        committee = self.driver.committee
+        messages = bytes_total = 0
+        by_type: dict[str, int] = {}
+        bytes_by_type: dict[str, int] = {}
+        dropped = delayed = 0
+        decided: dict[str, str] = {}
+        workers: dict[str, int] = {}
+        completed = True
+        for nid in sorted(results):
+            r = results[nid]
+            m = r["metrics"]
+            messages += m["messages"]
+            bytes_total += m["bytes"]
+            for key, value in m["by_type"].items():
+                by_type[key] = by_type.get(key, 0) + value
+            for key, value in m["bytes_by_type"].items():
+                bytes_by_type[key] = bytes_by_type.get(key, 0) + value
+            dropped += r["dropped"]
+            delayed += r["delayed"]
+            workers[str(nid)] = r["os_pid"]
+            if r["observer"]:
+                decided[str(nid)] = r["output"]
+                completed = completed and bool(r["done"])
+        return ScenarioResult(
+            spec=self.spec,
+            backend="proc",
+            n_real=committee.n,
+            n_nodes=self.driver.n_nodes,
+            weights_digest=committee.weights_digest,
+            completed=completed,
+            decided=decided,
+            count_comparable=self.driver.count_comparable,
+            messages=messages,
+            bytes=bytes_total,
+            by_type=by_type,
+            bytes_by_type=bytes_by_type,
+            dropped_messages=dropped,
+            delayed_messages=delayed,
+            wall_seconds=quiesced_at - started_at,
+            adversary=(
+                self.driver.adversary.describe()
+                if self.driver.adversary is not None
+                else None
+            ),
+            workers=workers,
+        )
+
+    def _collect_ready(self, deadline: float) -> dict[int, tuple[str, int]]:
+        addresses: dict[int, tuple[str, int]] = {}
+        for nid in range(len(self._conns)):
+            message = self._recv(nid, deadline)
+            if message[0] != "ready":
+                raise ProcError(
+                    f"proc worker {nid} sent {message[0]!r} before 'ready'"
+                )
+            addresses[message[1]] = message[2]
+        return addresses
+
+    def _await_completion(self, deadline: float) -> None:
+        """Distributed termination detection (see module docstring)."""
+        stable = 0
+        while True:
+            statuses = self._request_all(("status",), "status", deadline)
+            failures = {
+                nid: s["failure"] for nid, s in statuses.items() if s["failure"]
+            }
+            if failures:
+                details = "; ".join(
+                    f"node {nid}: {text}" for nid, text in sorted(failures.items())
+                )
+                raise ProcError(f"proc worker failure at the pump: {details}")
+            sent = sum(s["sent"] for s in statuses.values())
+            received = sum(s["received"] for s in statuses.values())
+            quiescent = (
+                all(s["idle"] for s in statuses.values()) and sent == received
+            )
+            done = all(statuses[nid]["done"] for nid in self.observers)
+            if quiescent and (done or not self.expect_liveness):
+                stable += 1
+                if stable >= _STABLE_POLLS:
+                    return
+            else:
+                stable = 0
+            if time.perf_counter() > deadline:
+                raise TimeoutError(
+                    f"proc scenario did not complete within {self.timeout}s "
+                    f"(done={done}, in-flight frames={sent - received})"
+                )
+            time.sleep(self.poll_interval)
+
+    def _teardown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=1.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._procs.clear()
+        self._conns.clear()
+
+
+def run_proc_scenario(
+    spec: ScenarioSpec, *, timeout: float = 60.0, committee=None
+):
+    """Execute ``spec`` process-per-party; the ``proc`` branch of
+    :func:`~repro.scenarios.harness.run_scenario`."""
+    return ProcCluster(spec, timeout=timeout, committee=committee).run()

@@ -1,0 +1,46 @@
+"""Scenario-registry sweeps over the deterministic executor.
+
+A sweep item is one :class:`~repro.scenarios.spec.ScenarioSpec`; workers
+receive the spec's dict form (specs round-trip ``to_dict``/``from_dict``
+losslessly) and return the unified record.  On the sim backend each
+record is a pure function of its spec, so a sweep's output list is
+byte-identical at any ``jobs`` value -- the same guarantee the fuzz
+campaign gets.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Iterable, Optional, Union
+
+from .executor import ParallelExecutor
+
+__all__ = ["run_specs"]
+
+
+def _run_one(backend: str, timeout: float, spec_dict: dict) -> dict:
+    from ..scenarios.harness import run_scenario
+    from ..scenarios.spec import ScenarioSpec
+
+    spec = ScenarioSpec.from_dict(spec_dict)
+    return run_scenario(spec, backend=backend, timeout=timeout).record()
+
+
+def run_specs(
+    specs: Iterable,
+    *,
+    backend: str = "sim",
+    timeout: float = 60.0,
+    jobs: Union[int, str] = 1,
+    progress: Optional[Callable[[int, dict], None]] = None,
+) -> list[dict]:
+    """Run every spec on ``backend``; records in input order.
+
+    ``specs`` holds :class:`ScenarioSpec` instances or their dict forms.
+    A failing spec raises (sweeps are all-or-nothing, like the CLI).
+    """
+    payloads = [
+        spec if isinstance(spec, dict) else spec.to_dict() for spec in specs
+    ]
+    fn = functools.partial(_run_one, backend, timeout)
+    return ParallelExecutor(jobs).map(fn, payloads, progress=progress)

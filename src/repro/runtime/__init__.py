@@ -13,7 +13,7 @@ from .cluster import TRANSPORTS, Cluster, RuntimeMetrics, run_cluster
 from .codec import CodecError, CodecRegistry, FrameAssembler, default_registry
 from .faults import DeliveryDecision, FaultController
 from .node import NodeNetwork, RuntimeNode
-from .transport import InProcTransport, TcpTransport, Transport
+from .transport import InProcTransport, ProcMeshTransport, TcpTransport, Transport
 
 __all__ = [
     "Cluster",
@@ -31,4 +31,5 @@ __all__ = [
     "Transport",
     "InProcTransport",
     "TcpTransport",
+    "ProcMeshTransport",
 ]

@@ -27,12 +27,15 @@ from ..sim.process import Party
 from .codec import CodecRegistry, default_registry
 from .faults import FaultController
 from .node import RuntimeNode
-from .transport import InProcTransport, TcpTransport, Transport
+from .transport import InProcTransport, ProcMeshTransport, TcpTransport, Transport
 
 __all__ = ["RuntimeMetrics", "Cluster", "run_cluster", "TRANSPORTS"]
 
-#: transport name -> constructor, for CLI/config selection
-TRANSPORTS = {"inproc": InProcTransport, "tcp": TcpTransport}
+#: transport name -> constructor, for CLI/config selection.  ``proc`` maps
+#: to the worker-side mesh endpoint; a whole-cluster ``proc`` run is
+#: orchestrated by :class:`repro.parallel.proc.ProcCluster` (one process
+#: per party), which a single-loop :class:`Cluster` cannot host.
+TRANSPORTS = {"inproc": InProcTransport, "tcp": TcpTransport, "proc": ProcMeshTransport}
 
 
 @dataclass
@@ -93,6 +96,12 @@ class Cluster:
         self.faults = faults or FaultController()
         self.metrics = RuntimeMetrics()
         if isinstance(transport, str):
+            if transport == "proc":
+                raise ValueError(
+                    "transport 'proc' is process-per-party and cannot be "
+                    "hosted on one event loop; run it via "
+                    "run_scenario(backend='proc') or repro.parallel.ProcCluster"
+                )
             try:
                 ctor = TRANSPORTS[transport]
             except KeyError:

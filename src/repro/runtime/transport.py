@@ -21,7 +21,7 @@ from typing import Any, Callable, Optional
 from .codec import CodecRegistry, read_frame_body
 from .faults import FaultController
 
-__all__ = ["Transport", "InProcTransport", "TcpTransport"]
+__all__ = ["Transport", "InProcTransport", "TcpTransport", "ProcMeshTransport"]
 
 _HELLO = struct.Struct(">I")
 
@@ -332,6 +332,150 @@ class TcpTransport(Transport):
             while True:
                 data = await read_frame_body(reader)
                 self._deliver(src, dst, data)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass  # peer hung up; the cluster is stopping or the node crashed
+        finally:
+            writer.close()
+
+
+class ProcMeshTransport(Transport):
+    """One node's endpoint of a process-per-party TCP mesh.
+
+    The ``proc`` backend hosts every :class:`~repro.runtime.node.RuntimeNode`
+    in its own OS process; this transport is the single-node slice each
+    worker owns.  Wire format and handshake are :class:`TcpTransport`'s
+    (length-prefixed codec frames behind a 4-byte dialer-id hello), so a
+    protocol that runs on ``tcp`` runs on ``proc`` unchanged.
+
+    The listener binds ``(host, 0)`` and :meth:`listen` returns the
+    kernel-assigned port; the parent ProcCluster collects every worker's
+    address over the control pipe and broadcasts the peer map back, so
+    concurrent clusters can never collide on a hardcoded port.
+
+    Quiescence is necessarily distributed: a sender cannot observe remote
+    delivery, so an outbound frame is resolved once drained to the kernel
+    and the *receiver* re-accounts it on arrival.  The parent detects
+    global quiescence by frame-count conservation -- every worker idle and
+    ``sum(frames_sent) == sum(frames_received)`` across two consecutive
+    polls -- which is why both counters are public here.
+
+    Fault injection stays at the delivery point: each worker installs the
+    full fault plan into its local :class:`FaultController`, and only the
+    ``(src, dst == local)`` decisions ever fire, so drop/delay counts sum
+    across workers to exactly the single-process totals.
+    """
+
+    def __init__(
+        self,
+        registry: CodecRegistry,
+        *,
+        faults: Optional[FaultController] = None,
+        record: Optional[Recorder] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        super().__init__(registry, faults=faults, record=record)
+        self.host = host
+        self.local_pid: Optional[int] = None
+        self.port: Optional[int] = None
+        #: cumulative frames shipped to / accepted from the mesh (self-sends
+        #: count on both sides) -- the parent's conservation check
+        self.frames_sent = 0
+        self.frames_received = 0
+        self._peers: dict[int, tuple[str, int]] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._reader_tasks: set[asyncio.Task] = set()
+
+    async def listen(self) -> int:
+        """Bind the kernel-assigned port and return it (before peers)."""
+        self._server = await asyncio.start_server(self._accept, self.host, 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    def configure(self, local_pid: int, peers: dict[int, tuple[str, int]]) -> None:
+        """Install the identity and peer address map the parent collected."""
+        self.local_pid = local_pid
+        self._peers = {int(pid): (host, int(port)) for pid, (host, port) in peers.items()}
+
+    async def start(self) -> None:
+        if self._server is None:
+            await self.listen()
+
+    async def stop(self) -> None:
+        for writer in self._writers.values():
+            writer.close()
+        for writer in list(self._writers.values()):
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._writers.clear()
+        for task in list(self._reader_tasks):
+            task.cancel()
+        if self._reader_tasks:
+            await asyncio.gather(*self._reader_tasks, return_exceptions=True)
+        self._reader_tasks.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await super().stop()
+
+    # -- outbound -----------------------------------------------------------------
+    async def send(self, src: int, dst: int, message: Any) -> int:
+        if dst == self.local_pid:
+            # Self-sends short-circuit the socket but still round-trip the
+            # codec, and still count on both frame ledgers so the parent's
+            # conservation check balances.
+            data = self._encode_and_record(message)
+            self.frames_sent += 1
+            self.frames_received += 1
+            self._deliver(src, dst, data)
+            return len(data)
+        if dst not in self._peers:
+            raise KeyError(f"unknown destination {dst}")
+        framed = self._encode_frame_and_record(message)
+        self.frames_sent += 1
+        try:
+            writer = await self._writer_for(dst)
+            writer.write(framed)
+            await writer.drain()
+        finally:
+            # Drained to the kernel: the receiving worker's in_flight takes
+            # over the moment the frame arrives, so resolve locally even if
+            # the drain failed (the frame's fate is no longer observable).
+            self._resolve()
+        return len(framed) - 4
+
+    async def _writer_for(self, dst: int) -> asyncio.StreamWriter:
+        writer = self._writers.get(dst)
+        if writer is None or writer.is_closing():
+            host, port = self._peers[dst]
+            _, writer = await asyncio.open_connection(host, port)
+            writer.write(_HELLO.pack(self.local_pid))
+            await writer.drain()
+            self._writers[dst] = writer
+        return writer
+
+    # -- inbound ------------------------------------------------------------------
+    def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.ensure_future(self._read_loop(reader, writer))
+        self._reader_tasks.add(task)
+        task.add_done_callback(self._reader_tasks.discard)
+
+    async def _read_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            hello = await reader.readexactly(_HELLO.size)
+            (src,) = _HELLO.unpack(hello)
+            while True:
+                data = await read_frame_body(reader)
+                self.frames_received += 1
+                # The sender resolved on drain; re-open the in-flight slot
+                # here so delays/drops settle through the shared _deliver.
+                self.in_flight += 1
+                self._deliver(src, self.local_pid, data)
         except (asyncio.IncompleteReadError, ConnectionError):
             pass  # peer hung up; the cluster is stopping or the node crashed
         finally:

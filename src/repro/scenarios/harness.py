@@ -29,10 +29,12 @@ from ..runtime.faults import FaultController
 from ..sim.process import Party
 from .spec import ScenarioSpec
 
-__all__ = ["ScenarioResult", "RunContext", "run_scenario", "BACKENDS"]
+__all__ = ["ScenarioResult", "RunContext", "run_scenario", "build_driver", "BACKENDS"]
 
-#: execution backends ``run_scenario`` accepts
-BACKENDS = ("sim", "inproc", "tcp")
+#: execution backends ``run_scenario`` accepts; ``proc`` is
+#: process-per-party (one OS process per node), orchestrated by
+#: :mod:`repro.parallel.proc`
+BACKENDS = ("sim", "inproc", "tcp", "proc")
 
 
 def _digest(data: bytes) -> str:
@@ -88,6 +90,12 @@ class ProtocolDriver:
     #: above it could never complete and would only burn the timeout)
     uses_f_w = True
 
+    #: the driver supports the process-per-party backend: its workload,
+    #: completion check, and output are all expressible per node (the
+    #: ``start_node``/``node_done``/``node_output`` forms below), so a
+    #: worker that hosts exactly one party can drive its slice alone
+    proc_capable = True
+
     def __init__(self, spec: ScenarioSpec, committee, adversary=None) -> None:
         self.spec = spec
         self.committee = committee
@@ -133,6 +141,25 @@ class ProtocolDriver:
         """Canonical decided values per live party (digest strings)."""
         raise NotImplementedError
 
+    # -- per-node forms (proc backend) ------------------------------------------
+    # One worker hosts one party, so the workload and the correctness
+    # checks must decompose by node.  ``done``/``outputs`` above are (for
+    # proc-capable drivers) exactly the aggregation of these forms over
+    # ``observers(ctx)``; ``start`` stays a separate whole-cluster recipe
+    # because its iteration order fixes the sim backend's event order.
+
+    def start_node(self, ctx: RunContext, nid: int) -> None:
+        """Fire node ``nid``'s share of the workload (and nothing else)."""
+        raise NotImplementedError(f"{type(self).__name__} is not proc-capable")
+
+    def node_done(self, ctx: RunContext, nid: int) -> bool:
+        """Completion as observable by node ``nid`` alone."""
+        raise NotImplementedError(f"{type(self).__name__} is not proc-capable")
+
+    def node_output(self, ctx: RunContext, nid: int) -> str:
+        """Node ``nid``'s canonical decided value (digest string)."""
+        raise NotImplementedError(f"{type(self).__name__} is not proc-capable")
+
 
 class RbcDriver(ProtocolDriver):
     """Weighted Bracha reliable broadcast; the lowest live honest party
@@ -160,16 +187,26 @@ class RbcDriver(ProtocolDriver):
         )
 
     def done(self, ctx: RunContext) -> bool:
-        return all(
-            ctx.party(nid).delivered == self.payload
-            for nid in self.observers(ctx)
-        )
+        return all(self.node_done(ctx, nid) for nid in self.observers(ctx))
 
     def outputs(self, ctx: RunContext) -> dict[str, str]:
         return {
-            str(nid): _digest(ctx.party(nid).delivered or b"")
-            for nid in self.observers(ctx)
+            str(nid): self.node_output(ctx, nid) for nid in self.observers(ctx)
         }
+
+    def start_node(self, ctx: RunContext, nid: int) -> None:
+        if nid != self.sender:
+            return
+        ctx.at(
+            self.spec.workload.start_time(0),
+            lambda: ctx.party(self.sender).broadcast_value(self.payload),
+        )
+
+    def node_done(self, ctx: RunContext, nid: int) -> bool:
+        return ctx.party(nid).delivered == self.payload
+
+    def node_output(self, ctx: RunContext, nid: int) -> str:
+        return _digest(ctx.party(nid).delivered or b"")
 
 
 class SmrDriver(ProtocolDriver):
@@ -220,11 +257,26 @@ class SmrDriver(ProtocolDriver):
             ctx.at(self.spec.workload.start_time(epoch), fire)
 
     def done(self, ctx: RunContext) -> bool:
+        return all(self.node_done(ctx, nid) for nid in self.observers(ctx))
+
+    def outputs(self, ctx: RunContext) -> dict[str, str]:
+        return {
+            str(nid): self.node_output(ctx, nid) for nid in self.observers(ctx)
+        }
+
+    def start_node(self, ctx: RunContext, nid: int) -> None:
+        for epoch in range(self.spec.workload.epochs):
+
+            def fire(e: int = epoch) -> None:
+                ctx.party(nid).propose_batch(e, _payload(self.spec, nid, e))
+
+            ctx.at(self.spec.workload.start_time(epoch), fire)
+
+    def node_done(self, ctx: RunContext, nid: int) -> bool:
         if self.adversary is None:
             want = len(ctx.live_nodes)
             return all(
                 len(ctx.party(nid).ordered_log(e)) == want
-                for nid in ctx.live_nodes
                 for e in self._required_epochs()
             )
         # Under an active adversary only the honest proposers' batches are
@@ -233,26 +285,22 @@ class SmrDriver(ProtocolDriver):
         honest = set(self.honest_real)
         return all(
             honest <= {p for p, _ in ctx.party(nid).ordered_log(e)}
-            for nid in self.observers(ctx)
             for e in self._required_epochs()
         )
 
-    def outputs(self, ctx: RunContext) -> dict[str, str]:
+    def node_output(self, ctx: RunContext, nid: int) -> str:
         honest = set(self.honest_real)
-        out = {}
-        for nid in self.observers(ctx):
-            h = hashlib.sha256()
-            for e in self._required_epochs():
-                for proposer, payload in ctx.party(nid).ordered_log(e):
-                    # A Byzantine proposer's batch may legitimately commit
-                    # at some honest parties and not others; the agreement
-                    # claim covers the honest proposers' sub-log.
-                    if self.adversary is not None and proposer not in honest:
-                        continue
-                    h.update(f"{e}|{proposer}|".encode())
-                    h.update(payload)
-            out[str(nid)] = h.hexdigest()[:16]
-        return out
+        h = hashlib.sha256()
+        for e in self._required_epochs():
+            for proposer, payload in ctx.party(nid).ordered_log(e):
+                # A Byzantine proposer's batch may legitimately commit
+                # at some honest parties and not others; the agreement
+                # claim covers the honest proposers' sub-log.
+                if self.adversary is not None and proposer not in honest:
+                    continue
+                h.update(f"{e}|{proposer}|".encode())
+                h.update(payload)
+        return h.hexdigest()[:16]
 
 
 class VabaDriver(ProtocolDriver):
@@ -266,6 +314,9 @@ class VabaDriver(ProtocolDriver):
     count_comparable = False
     #: resilience comes from the WR(f_n - eps, f_n) params, not spec.f_w
     uses_f_w = False
+    #: real outputs aggregate *all* virtual parties' decisions through
+    #: ``runner.real_output``, which no single-node worker can compute
+    proc_capable = False
 
     def __init__(self, spec: ScenarioSpec, committee, adversary=None) -> None:
         super().__init__(spec, committee, adversary)
@@ -358,19 +409,28 @@ class CheckpointDriver(ProtocolDriver):
             ctx.at(self.spec.workload.start_time(epoch), fire)
 
     def done(self, ctx: RunContext) -> bool:
-        return all(
-            cp in ctx.party(nid).certificates
-            for nid in self.observers(ctx)
-            for cp in self.checkpoints
-        )
+        return all(self.node_done(ctx, nid) for nid in self.observers(ctx))
 
     def outputs(self, ctx: RunContext) -> dict[str, str]:
-        out = {}
-        for nid in self.observers(ctx):
-            certs = ctx.party(nid).certificates
-            blob = "|".join(str(certs.get(cp, "")) for cp in self.checkpoints)
-            out[str(nid)] = _digest(blob.encode())
-        return out
+        return {
+            str(nid): self.node_output(ctx, nid) for nid in self.observers(ctx)
+        }
+
+    def start_node(self, ctx: RunContext, nid: int) -> None:
+        for epoch, checkpoint in enumerate(self.checkpoints):
+
+            def fire(cp: bytes = checkpoint) -> None:
+                ctx.party(nid).sign_checkpoint(cp)
+
+            ctx.at(self.spec.workload.start_time(epoch), fire)
+
+    def node_done(self, ctx: RunContext, nid: int) -> bool:
+        return all(cp in ctx.party(nid).certificates for cp in self.checkpoints)
+
+    def node_output(self, ctx: RunContext, nid: int) -> str:
+        certs = ctx.party(nid).certificates
+        blob = "|".join(str(certs.get(cp, "")) for cp in self.checkpoints)
+        return _digest(blob.encode())
 
 
 _DRIVERS: dict[str, type[ProtocolDriver]] = {
@@ -411,6 +471,8 @@ class ScenarioResult:
     service: Optional[dict] = None
     #: active-adversary runs only: strategies, corrupted set, liveness claim
     adversary: Optional[dict] = None
+    #: proc backend only: node id -> OS process id of the hosting worker
+    workers: Optional[dict[str, int]] = None
 
     def record(self) -> dict:
         """JSON-able snapshot.  On the sim backend every field is a pure
@@ -445,6 +507,8 @@ class ScenarioResult:
             rec["service"] = self.service
         if self.adversary is not None:
             rec["adversary"] = self.adversary
+        if self.workers is not None:
+            rec["workers"] = dict(sorted(self.workers.items()))
         return rec
 
     def record_json(self) -> str:
@@ -487,21 +551,59 @@ def _fault_plan(
     return faults, crashed, groups, links
 
 
+def build_driver(
+    spec: ScenarioSpec, committee=None, *, validate: bool = True
+) -> ProtocolDriver:
+    """Construct the spec's driver (committee resolved, adversary wired).
+
+    Every piece is a deterministic function of the spec, which is what
+    makes the ``proc`` backend possible: each worker process rebuilds an
+    *identical* driver -- same committee, same corruption set, same key
+    material (the checkpoint keygen draws from ``random.Random(seed)``) --
+    from nothing but the pickled spec dict.  Workers pass
+    ``validate=False`` because the parent already vetted the spec.
+    """
+    from ..api.committee import Committee
+
+    if committee is None:
+        committee = Committee.from_weight_spec(spec.weights, seed=spec.seed)
+    driver_cls = _DRIVERS[spec.protocol]
+    if validate:
+        committee.validate(
+            f_w=spec.f_w if driver_cls.uses_f_w else None,
+            crashes=spec.faults.crashes,
+            partition=spec.faults.partition,
+            link_delays=spec.faults.link_delays,
+            payload_size=spec.workload.payload_size,
+            epochs=spec.workload.epochs,
+        )
+    adversary = None
+    if spec.faults.byzantine:
+        from ..adversary.strategies import Adversary
+
+        adversary = Adversary(spec, committee)
+    driver = driver_cls(spec, committee, adversary)
+    if adversary is not None:
+        # Corrupt at construction: every backend builds every party
+        # through this factory, so the corruption is backend-agnostic.
+        driver.factory = adversary.wrap_factory(driver.factory)
+    return driver
+
+
 def run_scenario(
     spec: ScenarioSpec, *, backend: str = "sim", timeout: float = 60.0, committee=None
 ) -> ScenarioResult:
     """Execute ``spec`` on ``backend`` and return the unified record.
 
     ``backend`` is ``"sim"`` (discrete-event, deterministic, virtual
-    time), ``"inproc"`` (live asyncio queues), or ``"tcp"`` (live
-    sockets).  Runtime backends raise ``TimeoutError`` when the scenario
-    does not complete within ``timeout``; the sim instead runs to
-    quiescence and reports ``completed=False``.  ``committee`` lets a
-    caller that already resolved the spec's weights (e.g. a
-    :class:`repro.api.Session`) skip re-resolving the source.
+    time), ``"inproc"`` (live asyncio queues), ``"tcp"`` (live sockets,
+    one event loop), or ``"proc"`` (process-per-party over TCP).  Runtime
+    backends raise ``TimeoutError`` when the scenario does not complete
+    within ``timeout``; the sim instead runs to quiescence and reports
+    ``completed=False``.  ``committee`` lets a caller that already
+    resolved the spec's weights (e.g. a :class:`repro.api.Session`) skip
+    re-resolving the source.
     """
-    from ..api.committee import Committee
-
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; one of {BACKENDS}")
     if spec.workload.kind == "service":
@@ -511,30 +613,20 @@ def run_scenario(
 
         if spec.protocol != "smr":
             raise ValueError("service workloads run on the smr protocol")
+        if backend == "proc":
+            raise ValueError(
+                "service workloads run on the sim or inproc backends, not proc"
+            )
         return run_service_spec(
             spec, backend=backend, timeout=timeout, committee=committee
         )
-    if committee is None:
-        committee = Committee.from_weight_spec(spec.weights, seed=spec.seed)
-    driver_cls = _DRIVERS[spec.protocol]
-    committee.validate(
-        f_w=spec.f_w if driver_cls.uses_f_w else None,
-        crashes=spec.faults.crashes,
-        partition=spec.faults.partition,
-        link_delays=spec.faults.link_delays,
-        payload_size=spec.workload.payload_size,
-        epochs=spec.workload.epochs,
-    )
-    adversary = None
-    if spec.faults.byzantine:
-        from ..adversary.strategies import Adversary
+    if backend == "proc":
+        from ..parallel.proc import run_proc_scenario
 
-        adversary = Adversary(spec, committee)
-    driver = driver_cls(spec, committee, adversary)
-    if adversary is not None:
-        # Corrupt at construction: both backends build every party
-        # through this factory, so the corruption is backend-agnostic.
-        driver.factory = adversary.wrap_factory(driver.factory)
+        return run_proc_scenario(spec, timeout=timeout, committee=committee)
+    driver = build_driver(spec, committee)
+    committee = driver.committee
+    adversary = driver.adversary
     faults, crashed, groups, links = _fault_plan(spec, driver)
     live_nodes = tuple(
         nid for nid in range(driver.n_nodes) if nid not in set(crashed)

@@ -1,0 +1,68 @@
+"""Fuzz campaigns and registry sweeps under ``jobs``: byte-identical
+output at every parallelism level (the determinism regression the
+parallel engine is contractually bound to)."""
+
+import json
+
+import pytest
+
+from repro.adversary import FuzzConfig, run_campaign
+from repro.parallel import run_specs
+from repro.scenarios.registry import get_scenario
+
+
+def _campaign_fingerprint(result):
+    """Everything observable about a campaign, canonically encoded."""
+    return json.dumps(
+        {
+            "summary": result.summary(),
+            "failures": result.failures,
+            "outcomes": [
+                {
+                    "episode": outcome.episode,
+                    "violations": outcome.violations,
+                    "skipped": outcome.skipped,
+                    "record": outcome.record,
+                }
+                for outcome in result.outcomes
+            ],
+        },
+        sort_keys=True,
+        default=str,
+    )
+
+
+@pytest.mark.proc
+class TestCampaignDeterminism:
+    def test_fifty_episodes_identical_at_jobs_1_and_4(self):
+        config = FuzzConfig(episodes=50, seed=5)
+        sequential = run_campaign(config)  # the pre-jobs code path
+        jobs_one = run_campaign(config, jobs=1)
+        jobs_four = run_campaign(config, jobs=4)
+        assert (
+            sequential.summary() == jobs_one.summary() == jobs_four.summary()
+        )
+        assert (
+            _campaign_fingerprint(sequential)
+            == _campaign_fingerprint(jobs_one)
+            == _campaign_fingerprint(jobs_four)
+        )
+
+    def test_auto_jobs_is_accepted(self):
+        config = FuzzConfig(episodes=4, seed=2)
+        assert run_campaign(config, jobs="auto").summary() == run_campaign(
+            config
+        ).summary()
+
+
+class TestSweepDeterminism:
+    def test_sequential_sweep_preserves_input_order(self):
+        specs = [get_scenario("crash-f-rbc"), get_scenario("uniform-rbc")]
+        records = run_specs(specs, jobs=1)
+        assert [r["scenario"] for r in records] == ["crash-f-rbc", "uniform-rbc"]
+        assert all(r["completed"] for r in records)
+
+    @pytest.mark.proc
+    def test_sweep_identical_across_jobs(self):
+        specs = [get_scenario("uniform-rbc"), get_scenario("crash-f-rbc")]
+        assert run_specs(specs, jobs=1) == run_specs(specs, jobs=2)

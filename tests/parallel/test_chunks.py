@@ -1,0 +1,87 @@
+"""Chunked DLEQ verification and RS stripe encoding: verdicts and
+fragments are identical to the sequential engine at every ``jobs``."""
+
+import random
+
+import pytest
+
+from repro.codes.reed_solomon import ReedSolomon
+from repro.crypto.dleq import prove_dleq, verify_dleq_batch
+from repro.crypto.group import TEST_GROUP_256
+from repro.parallel import encode_blocks_striped, verify_dleq_batch_chunked
+
+
+def _statements(n, *, forge=()):
+    group = TEST_GROUP_256
+    rng = random.Random(0)
+    g1 = group.generator
+    g2 = group.power(group.generator, 7)
+    statements = []
+    for i in range(n):
+        x = rng.randrange(1, group.order)
+        y1, y2, proof = prove_dleq(group, x, g1, g2, rng)
+        if i in forge:
+            y1 = (y1 * g1) % group.p
+        statements.append((y1, y2, proof))
+    return group, g1, g2, statements
+
+
+class TestDleqChunked:
+    def test_matches_unchunked_verdicts(self):
+        group, g1, g2, statements = _statements(20, forge=(3, 17))
+        reference = verify_dleq_batch(group, g1, g2, statements, rng=random.Random(1))
+        chunked = verify_dleq_batch_chunked(
+            group, g1, g2, statements, jobs=1, chunk_size=6, seed=9
+        )
+        assert chunked == reference
+        assert chunked[3] is False and chunked[17] is False
+        assert sum(chunked) == 18
+
+    def test_chunk_size_does_not_change_verdicts(self):
+        group, g1, g2, statements = _statements(15, forge=(0,))
+        verdicts = [
+            verify_dleq_batch_chunked(
+                group, g1, g2, statements, chunk_size=size, seed=4
+            )
+            for size in (1, 4, 64)
+        ]
+        assert verdicts[0] == verdicts[1] == verdicts[2]
+
+    def test_rejects_bad_chunk_size(self):
+        group, g1, g2, statements = _statements(2)
+        with pytest.raises(ValueError):
+            verify_dleq_batch_chunked(group, g1, g2, statements, chunk_size=0)
+
+    @pytest.mark.proc
+    def test_jobs_do_not_change_verdicts(self):
+        group, g1, g2, statements = _statements(20, forge=(7,))
+        sequential = verify_dleq_batch_chunked(
+            group, g1, g2, statements, jobs=1, chunk_size=5, seed=2
+        )
+        parallel = verify_dleq_batch_chunked(
+            group, g1, g2, statements, jobs=2, chunk_size=5, seed=2
+        )
+        assert sequential == parallel
+        assert parallel[7] is False
+
+
+class TestRsStriped:
+    def test_matches_per_stripe_encoding(self):
+        rs = ReedSolomon(4, 8)
+        stripes = [random.Random(i).randbytes(256) for i in range(6)]
+        reference = [rs.encode_blocks(s, systematic=True) for s in stripes]
+        assert (
+            encode_blocks_striped(4, 8, stripes, jobs=1, systematic=True, rs=rs)
+            == reference
+        )
+        assert (
+            encode_blocks_striped(4, 8, stripes, jobs=1, systematic=True)
+            == reference
+        )
+
+    @pytest.mark.proc
+    def test_jobs_do_not_change_fragments(self):
+        rs = ReedSolomon(5, 12)
+        stripes = [random.Random(100 + i).randbytes(320) for i in range(8)]
+        reference = [rs.encode_blocks(s) for s in stripes]
+        assert encode_blocks_striped(5, 12, stripes, jobs=3) == reference

@@ -1,0 +1,78 @@
+"""The deterministic executor: parse_jobs validation, in-order merge,
+and the guarantee that ``jobs`` never changes a result.
+
+The ``jobs=1`` paths are tier-1 (no processes spawned); anything that
+actually forks is ``proc``-marked so tier-1 stays single-process.
+"""
+
+import pytest
+
+from repro.parallel import ParallelExecutor, available_parallelism, parse_jobs
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"planted failure on {x}")
+
+
+class TestParseJobs:
+    def test_accepts_positive_ints_and_strings(self):
+        assert parse_jobs(1) == 1
+        assert parse_jobs(8) == 8
+        assert parse_jobs("4") == 4
+        assert parse_jobs(" 2 ") == 2
+        assert parse_jobs(None) == 1
+
+    def test_auto_means_the_cpu_count(self):
+        assert parse_jobs("auto") == available_parallelism()
+        assert parse_jobs("AUTO") == available_parallelism()
+        assert parse_jobs("auto") >= 1
+
+    @pytest.mark.parametrize("bad", [0, -1, "0", "-3", "nope", "1.5", "", True])
+    def test_rejects_everything_else(self, bad):
+        with pytest.raises(ValueError):
+            parse_jobs(bad)
+
+    def test_executor_constructor_validates(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(0)
+
+
+class TestSequentialPath:
+    def test_map_preserves_order(self):
+        assert ParallelExecutor(1).map(_square, range(10)) == [
+            x * x for x in range(10)
+        ]
+
+    def test_progress_fires_in_index_order(self):
+        seen = []
+        ParallelExecutor(1).map(_square, range(5), progress=lambda i, r: seen.append((i, r)))
+        assert seen == [(i, i * i) for i in range(5)]
+
+    def test_single_item_never_forks(self):
+        # jobs > 1 with one item takes the sequential path (workers are
+        # capped at len(items)).
+        assert ParallelExecutor(8).map(_square, [3]) == [9]
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(RuntimeError, match="planted"):
+            ParallelExecutor(1).map(_boom, [1])
+
+
+@pytest.mark.proc
+class TestParallelPath:
+    def test_matches_sequential_exactly(self):
+        items = list(range(23))
+        assert ParallelExecutor(3).map(_square, items) == [x * x for x in items]
+
+    def test_progress_fires_in_index_order(self):
+        seen = []
+        ParallelExecutor(2).map(_square, range(8), progress=lambda i, r: seen.append(i))
+        assert seen == list(range(8))
+
+    def test_worker_exceptions_propagate(self):
+        with pytest.raises(RuntimeError, match="planted"):
+            ParallelExecutor(2).map(_boom, range(4))

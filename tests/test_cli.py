@@ -452,3 +452,106 @@ class TestFuzz:
         )
         assert code == 0
         assert not path.exists()
+
+
+class TestJobsFlag:
+    """--jobs on fuzz/scenario: malformed values hit the uniform
+    {"error": ...} exit-2 path (argparse never sees the value, so its
+    non-JSON usage error can't leak); well-formed values run."""
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "nope", "1.5", ""])
+    def test_fuzz_rejects_malformed_jobs(self, bad, capsys):
+        code = main(["fuzz", "--episodes", "2", "--jobs", bad, "--json"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.out == ""
+        err = json.loads(captured.err)
+        assert set(err) == {"error"}
+        assert "--jobs" in err["error"]
+
+    @pytest.mark.parametrize("bad", ["0", "auto8", "-1"])
+    def test_scenario_sweep_rejects_malformed_jobs(self, bad, capsys):
+        code = main(["scenario", "--all", "--jobs", bad, "--json"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert set(json.loads(captured.err)) == {"error"}
+
+    def test_single_scenario_rejects_malformed_jobs(self, capsys):
+        code = main(["scenario", "uniform-rbc", "--jobs", "zero", "--json"])
+        assert code == 2
+        assert set(json.loads(capsys.readouterr().err)) == {"error"}
+
+    def test_fuzz_accepts_jobs_one(self, capsys):
+        code = main(["fuzz", "--episodes", "4", "--jobs", "1", "--json"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["episodes"] == 4
+
+    @pytest.mark.proc
+    def test_fuzz_jobs_two_matches_sequential(self, capsys):
+        code = main(["fuzz", "--episodes", "6", "--seed", "3", "--json"])
+        assert code == 0
+        sequential = capsys.readouterr().out
+        code = main(
+            ["fuzz", "--episodes", "6", "--seed", "3", "--jobs", "2", "--json"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == sequential
+
+
+class TestScenarioSweep:
+    def test_all_runs_the_whole_registry(self, capsys):
+        code = main(["scenario", "--all", "--json"])
+        assert code == 0
+        records = json.loads(capsys.readouterr().out)["records"]
+        assert len(records) >= 10
+        assert all(rec["completed"] in (True, False) for rec in records)
+
+    @pytest.mark.proc
+    def test_sweep_output_is_identical_across_jobs(self, capsys):
+        code = main(["scenario", "--all", "--json"])
+        assert code == 0
+        sequential = capsys.readouterr().out
+        code = main(["scenario", "--all", "--jobs", "2", "--json"])
+        assert code == 0
+        assert capsys.readouterr().out == sequential
+
+
+@pytest.mark.proc
+class TestProcBackendCli:
+    def test_scenario_proc_reports_distinct_worker_pids(self, capsys):
+        code = main(["scenario", "uniform-rbc", "--backend", "proc", "--json"])
+        assert code == 0
+        rec = json.loads(capsys.readouterr().out)
+        assert rec["backend"] == "proc"
+        assert rec["completed"] is True
+        pids = list(rec["workers"].values())
+        assert len(set(pids)) == len(pids) == 8
+
+    def test_cluster_proc_two_workers(self, capsys):
+        code = main(
+            ["cluster", "rbc", "--transport", "proc", "--n", "4", "--json"]
+        )
+        assert code == 0
+        rec = json.loads(capsys.readouterr().out)
+        assert rec["transport"] == "proc"
+        assert rec["completed"] is True
+        assert len(set(rec["workers"].values())) == 4
+
+    def test_worker_crash_is_uniform_json_error_exit_2(self, capsys, monkeypatch):
+        from repro.parallel.proc import CRASH_ENV
+
+        monkeypatch.setenv(CRASH_ENV, "0")
+        code = main(["scenario", "uniform-rbc", "--backend", "proc", "--json"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.out == ""
+        assert set(json.loads(captured.err)) == {"error"}
+
+    def test_timeout_is_uniform_json_error_exit_2(self, capsys):
+        code = main(
+            ["scenario", "uniform-rbc", "--backend", "proc",
+             "--timeout", "0.001", "--json"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert set(json.loads(captured.err)) == {"error"}

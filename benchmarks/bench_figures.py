@@ -13,6 +13,7 @@ benchmark run tractable; the paper's qualitative observations checked:
 * max tickets saturate as n passes ~1000 (checked on Filecoin/Algorand).
 """
 
+import os
 from fractions import Fraction
 
 import pytest
@@ -35,6 +36,9 @@ def _run_figure(snapshot, *, alpha_ns, ratios, nfracs, trials, mode):
         nfracs=nfracs,
         trials=trials,
         mode=mode,
+        # Figures are byte-identical at any jobs value, so fan-out is a
+        # pure wall-clock knob for big chains (Filecoin/Algorand).
+        jobs=os.environ.get("REPRO_JOBS", "1"),
     )
     text = render_figure(fig)
     grid_csv, scale_csv = figure_csv(fig)

@@ -1,0 +1,288 @@
+"""Benchmark R -- the crash-recovery layer: rejoin correctness and
+recovery time.
+
+Three rows:
+
+* **sim-restart** (gated on correctness, never on timing): the
+  ``crash-restart-smr`` registry scenario run twice on the simulator
+  plus once fault-free -- the restart record must be byte-deterministic
+  and the recovered log identical to the fault-free run's;
+* **proc-sigkill** (the recovery-time row): the same scenario on the
+  proc backend, where the orchestrator really SIGKILLs the worker OS
+  process and respawns it.  Records downtime, rejoin time (respawn to
+  cluster quiescence), and the WAL-vs-peer recovery split.  Gated on
+  correctness and on an *absolute* rejoin-time ceiling -- generous,
+  machine-independent, and meant to catch a rejoin that stalls into
+  the retry/timeout regime rather than to grade the scheduler;
+* **wal-replay** (recorded only): append+fsync and replay throughput of
+  the durable write-ahead log.
+
+``--check`` additionally fails when rejoin time blows past the
+committed ``BENCH_9.json`` baseline by more than the slack factor
+(floored at 2 s so a fast baseline box cannot make a normal CI runner
+fail).
+
+Run:    PYTHONPATH=src python benchmarks/bench_recovery.py [--full]
+                [--out BENCH_9.json] [--check BASELINE.json]
+or:     PYTHONPATH=src python -m pytest benchmarks/bench_recovery.py -q -s -m proc
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.report import write_csv_rows, write_json
+from repro.scenarios import get_scenario, run_scenario
+from repro.scenarios.spec import FaultSpec
+
+#: absolute ceiling on proc rejoin seconds (respawn -> quiescence); the
+#: healthy path measures well under 1 s, the broken one times out in 60
+REJOIN_CEILING_S = 10.0
+
+#: --check slack: fail at baseline * SLACK (but never below 2 s)
+BASELINE_SLACK = 5.0
+
+#: WAL microbench size in quick mode; --full quadruples it
+QUICK_WAL_RECORDS = 2000
+
+
+def bench_sim_restart() -> dict:
+    """Sim crash-restart: deterministic, and identical to fault-free."""
+    spec = get_scenario("crash-restart-smr")
+    start = time.perf_counter()
+    first = run_scenario(spec, backend="sim")
+    elapsed = time.perf_counter() - start
+    again = run_scenario(spec, backend="sim")
+    clean = run_scenario(
+        dataclasses.replace(spec, faults=FaultSpec()), backend="sim"
+    )
+    return {
+        "workload": "sim-restart",
+        "scenario": spec.name,
+        "completed": first.completed,
+        "deterministic": first.record_json() == again.record_json(),
+        "matches_fault_free": set(first.decided.values())
+        == set(clean.decided.values()),
+        "sim_time": first.sim_time,
+        "sim_time_fault_free": clean.sim_time,
+        "wall_s": round(elapsed, 6),
+    }
+
+
+def bench_proc_sigkill() -> dict:
+    """Proc SIGKILL + respawn: recovery telemetry and rejoin time."""
+    from repro.parallel import run_proc_scenario
+
+    spec = get_scenario("crash-restart-smr")
+    start = time.perf_counter()
+    result = run_proc_scenario(spec, timeout=60.0)
+    elapsed = time.perf_counter() - start
+    clean = run_proc_scenario(
+        dataclasses.replace(spec, faults=FaultSpec()), timeout=60.0
+    )
+    recovery = result.recovery or {}
+    (restarted_pid, _, _), = spec.faults.restarts
+    node = recovery.get("nodes", {}).get(str(restarted_pid), {})
+    return {
+        "workload": "proc-sigkill",
+        "scenario": spec.name,
+        "completed": result.completed,
+        "matches_fault_free": set(result.decided.values())
+        == set(clean.decided.values()),
+        "restarts": recovery.get("restarts", 0),
+        "downtime_s": round(node.get("downtime_seconds", 0.0), 6),
+        "rejoin_s": round(node.get("rejoin_seconds", 0.0), 6),
+        "recovered_from_wal": recovery.get("recovered_from_wal", 0),
+        "recovered_from_peers": recovery.get("recovered_from_peers", 0),
+        "reconnects": recovery.get("reconnects", 0),
+        "duplicates_dropped": recovery.get("duplicates_dropped", 0),
+        "wall_s": round(elapsed, 6),
+        "ceiling_s": REJOIN_CEILING_S,
+    }
+
+
+def bench_wal_replay(*, full: bool) -> dict:
+    """Durable WAL append+fsync and replay throughput (recorded only)."""
+    import tempfile
+
+    from repro.recovery import WriteAheadLog
+
+    records = QUICK_WAL_RECORDS * (4 if full else 1)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as tmp:
+        wal = WriteAheadLog(Path(tmp) / "bench.wal", fsync_every=8)
+        start = time.perf_counter()
+        for i in range(records):
+            wal.append(
+                {"kind": "commit", "epoch": i % 4, "proposer": i % 8,
+                 "payload": "ab" * 32}
+            )
+        wal.flush()
+        append_s = time.perf_counter() - start
+        start = time.perf_counter()
+        replayed = sum(1 for _ in wal.replay())
+        replay_s = time.perf_counter() - start
+        wal.close()
+    return {
+        "workload": "wal-replay",
+        "records": records,
+        "append_s": round(append_s, 6),
+        "replay_s": round(replay_s, 6),
+        "appends_per_sec": round(records / max(append_s, 1e-12)),
+        "replays_per_sec": round(replayed / max(replay_s, 1e-12)),
+        "replayed_all": replayed == records,
+        "gated": False,
+    }
+
+
+def run_bench(*, full: bool) -> dict:
+    return {
+        "bench": "recovery",
+        "pr": 9,
+        "mode": "full" if full else "quick",
+        "sim": bench_sim_restart(),
+        "proc": bench_proc_sigkill(),
+        "wal": bench_wal_replay(full=full),
+    }
+
+
+def gate_failures(record: dict) -> list[str]:
+    """Correctness gates plus the absolute rejoin ceiling."""
+    failures = []
+    sim = record["sim"]
+    if not sim["completed"]:
+        failures.append("sim: crash-restart scenario did not complete")
+    if not sim["deterministic"]:
+        failures.append("sim: crash-restart record is not byte-deterministic")
+    if not sim["matches_fault_free"]:
+        failures.append("sim: recovered log differs from the fault-free run")
+    proc = record["proc"]
+    if not proc["completed"]:
+        failures.append("proc: SIGKILL-restart scenario did not complete")
+    if not proc["matches_fault_free"]:
+        failures.append("proc: recovered log differs from the fault-free run")
+    if proc["restarts"] < 1:
+        failures.append("proc: no restart was recorded")
+    if proc["rejoin_s"] > REJOIN_CEILING_S:
+        failures.append(
+            f"proc: rejoin took {proc['rejoin_s']:.2f}s "
+            f"> {REJOIN_CEILING_S:.0f}s ceiling"
+        )
+    if not record["wal"]["replayed_all"]:
+        failures.append("wal: replay lost records")
+    return failures
+
+
+def check_against_baseline(record: dict, baseline_path: Path) -> list[str]:
+    """Baseline-relative rejoin-time regression, with generous slack."""
+    baseline = json.loads(baseline_path.read_text())
+    failures = gate_failures(record)
+    base_rejoin = baseline.get("proc", {}).get("rejoin_s")
+    if base_rejoin:
+        ceiling = max(2.0, base_rejoin * BASELINE_SLACK)
+        if record["proc"]["rejoin_s"] > ceiling:
+            failures.append(
+                f"proc.rejoin_s: {record['proc']['rejoin_s']:.2f}s > "
+                f"{ceiling:.2f}s (baseline {base_rejoin:.2f}s "
+                f"* {BASELINE_SLACK})"
+            )
+    return failures
+
+
+def write_artifacts(record: dict, out_path: Path) -> None:
+    out_path.write_text(json.dumps(record, sort_keys=True, indent=2) + "\n")
+    write_json("bench_recovery.json", record)
+    write_csv_rows(
+        "bench_recovery.csv",
+        ["workload", "completed", "downtime_s", "rejoin_s", "wall_s"],
+        [
+            [
+                record["sim"]["workload"], record["sim"]["completed"],
+                "", "", record["sim"]["wall_s"],
+            ],
+            [
+                record["proc"]["workload"], record["proc"]["completed"],
+                record["proc"]["downtime_s"], record["proc"]["rejoin_s"],
+                record["proc"]["wall_s"],
+            ],
+        ],
+    )
+
+
+def _print_table(record: dict) -> None:
+    sim, proc, wal = record["sim"], record["proc"], record["wal"]
+    print(f"\nrecovery benchmark ({record['mode']} mode)")
+    print(
+        f"{'sim-restart':>14}: completed={sim['completed']} "
+        f"deterministic={sim['deterministic']} "
+        f"matches-fault-free={sim['matches_fault_free']}"
+    )
+    print(
+        f"{'proc-sigkill':>14}: downtime={proc['downtime_s']:.3f}s "
+        f"rejoin={proc['rejoin_s']:.3f}s wal-recovered="
+        f"{proc['recovered_from_wal']} peer-recovered="
+        f"{proc['recovered_from_peers']} reconnects={proc['reconnects']}"
+    )
+    print(
+        f"{'wal-replay':>14}: {wal['appends_per_sec']}/s append "
+        f"{wal['replays_per_sec']}/s replay over {wal['records']} records"
+    )
+
+
+# -- pytest entry ----------------------------------------------------------------------
+
+import pytest
+
+
+@pytest.mark.proc
+def test_recovery_bench(tmp_path):
+    """Quick-mode run: correctness gates plus the absolute rejoin ceiling.
+
+    Writes only under tmp_path: the committed ``BENCH_9.json`` baseline
+    is authored only by the explicit CLI ``--out`` path.
+    """
+    full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+    record = run_bench(full=full)
+    _print_table(record)
+    (tmp_path / "bench_recovery.json").write_text(
+        json.dumps(record, sort_keys=True, indent=2) + "\n"
+    )
+    failures = gate_failures(record)
+    assert not failures, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full", action="store_true", help="acceptance-bar sizes")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_9.json"))
+    parser.add_argument(
+        "--check", type=Path, default=None, metavar="BASELINE",
+        help="fail when rejoin time regresses vs this baseline",
+    )
+    args = parser.parse_args(argv)
+    record = run_bench(
+        full=args.full or os.environ.get("REPRO_BENCH_FULL", "") == "1"
+    )
+    _print_table(record)
+    write_artifacts(record, args.out)
+    print(f"\nwrote {args.out}")
+    failures = (
+        check_against_baseline(record, args.check)
+        if args.check is not None
+        else gate_failures(record)
+    )
+    if failures:
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"perf gate ok{f' vs {args.check}' if args.check else ''}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

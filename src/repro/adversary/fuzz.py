@@ -116,6 +116,8 @@ class CampaignResult:
             key = o.episode["kind"]
             if o.episode.get("strategy"):
                 key = f"{key}:{o.episode['strategy']}"
+            elif (o.episode.get("scenario") or {}).get("faults", {}).get("restarts"):
+                key = f"{key}:crash-restart"
             counts[key] = counts.get(key, 0) + 1
         return dict(sorted(counts.items()))
 
@@ -166,6 +168,24 @@ def _sample_crash(weights: WeightSpec, seed: int, rng: random.Random) -> tuple[i
     return ()
 
 
+def _sample_restart(
+    weights: WeightSpec, seed: int, rng: random.Random
+) -> tuple[tuple[int, float, float], ...]:
+    """Maybe crash-restart the lightest party: down from ``crash_at`` to
+    ``restart_at`` (scenario seconds), then a WAL-replay + state-sync
+    rejoin.  Same 1/3 weight-budget guard as permanent crashes -- the
+    party counts against the budget while it is down."""
+    if rng.random() > 0.3:
+        return ()
+    values = weights.materialize(seed)
+    lightest = min(range(len(values)), key=lambda i: (values[i], i))
+    if Fraction(values[lightest], sum(values)) >= Fraction(1, 3):
+        return ()
+    crash_at = round(rng.uniform(0.05, 0.3), 3)
+    restart_at = round(crash_at + rng.uniform(0.3, 0.7), 3)
+    return ((lightest, crash_at, restart_at),)
+
+
 def _sample_scenario(config: FuzzConfig, index: int, rng: random.Random) -> dict:
     protocol = rng.choice(list(config.protocols))
     compatible = [
@@ -176,9 +196,22 @@ def _sample_scenario(config: FuzzConfig, index: int, rng: random.Random) -> dict
     strategy = rng.choice(compatible) if compatible else None
     weights = _sample_weights(rng)
     spec_seed = rng.getrandbits(32)
+    # Crash-restart episodes ride the fault-free SMR path (only the SMR
+    # driver builds recoverable parties); a restarted party displaces the
+    # permanent-crash sample so the two never fight over the budget.
+    restarts = (
+        _sample_restart(weights, spec_seed, rng)
+        if strategy is None and protocol == "smr"
+        else ()
+    )
     faults = FaultSpec(
         byzantine=(ByzantineSpec(strategy),) if strategy else (),
-        crashes=_sample_crash(weights, spec_seed, rng) if strategy is None else (),
+        crashes=(
+            _sample_crash(weights, spec_seed, rng)
+            if strategy is None and not restarts
+            else ()
+        ),
+        restarts=restarts,
     )
     params: tuple[tuple[str, object], ...] = ()
     epochs = 1

@@ -14,6 +14,9 @@ claims, stated over the record shape:
   the run completed.
 * **gap-free committed log** (service workloads) -- epoch slot ranges
   are contiguous from slot 0 and every submitted request committed.
+* **recovery** (crash-restart fault plans) -- every restarted party
+  decided in a completed run; a recovered party stuck at the empty
+  digest means rejoin silently failed.
 
 Beacon unpredictability is checked by a direct probe
 (:func:`repro.adversary.fuzz.run_coin_probe`) rather than from records:
@@ -110,6 +113,19 @@ def check_record(spec, record: dict) -> list[str]:
                 f"validity: delivered {sorted(values)} but the honest "
                 f"sender broadcast {expected}"
             )
+
+    # Crash-restarted parties must come all the way back: a completed run
+    # where a recovered party never decided means rejoin silently failed
+    # (agreement alone would not catch it -- EMPTY_DIGEST is filtered).
+    restarts = getattr(spec.faults, "restarts", ())
+    if restarts and record.get("completed"):
+        for pid, _crash_at, _restart_at in restarts:
+            digest = decided.get(str(pid), EMPTY_DIGEST)
+            if digest == EMPTY_DIGEST:
+                violations.append(
+                    f"recovery: restarted party {pid} decided nothing in a "
+                    "completed run"
+                )
 
     if record.get("service") is not None:
         violations.extend(_check_service(record))

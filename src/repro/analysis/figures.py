@@ -52,10 +52,15 @@ def build_figure(
     trials: int = 5,
     mode: str = "full",
     seed: int = 0,
+    jobs=1,
 ) -> FigureData:
-    """Run both experiment kinds on one chain snapshot."""
+    """Run both experiment kinds on one chain snapshot.
+
+    ``jobs`` fans the sweeps' work units out over worker processes; the
+    figure is byte-identical at any value.
+    """
     grid = alpha_grid_sweep(
-        snapshot.weights, alpha_ns=alpha_ns, ratios=ratios, mode=mode
+        snapshot.weights, alpha_ns=alpha_ns, ratios=ratios, mode=mode, jobs=jobs
     )
     scaling = {}
     for alpha_w, alpha_n in pairs:
@@ -68,6 +73,7 @@ def build_figure(
                 trials=trials,
                 seed=seed,
                 mode=mode,
+                jobs=jobs,
             )
         )
     return FigureData(

@@ -5,13 +5,22 @@
   solve WR at every grid cell, record total/max tickets and holders.
 * :func:`nfrac_sweep` -- the right column: fix (alpha_w, alpha_n) pairs,
   bootstrap-resample the chain at a range of sizes, average the metrics.
+
+Both sweeps fan out over the deterministic
+:class:`~repro.parallel.executor.ParallelExecutor`: every work unit (one
+grid cell, one nfrac point) is a pure function of its arguments, with
+the bootstrap randomness keyed ``f"{seed}|nfrac|{index}"`` per point
+rather than threaded through one sequential stream -- so the output list
+is byte-identical at any ``jobs`` value, including the ``jobs=1``
+in-process path tier-1 tests use.
 """
 
 from __future__ import annotations
 
+import functools
 import random
 from fractions import Fraction
-from typing import Callable, Optional, Sequence
+from typing import Sequence, Union
 
 from ..core.problems import WeightRestriction
 from ..core.solver import Swiper
@@ -47,35 +56,84 @@ def _weights_of(weights) -> Sequence[int]:
     return getattr(weights, "weights", weights)
 
 
+def _solve_grid_cell(
+    weights: tuple[int, ...], mode: str, cell: tuple[Fraction, Fraction]
+) -> SweepPoint:
+    """One grid cell as a pure, picklable work unit."""
+    alpha_n, ratio = cell
+    alpha_w = ratio * alpha_n
+    result = Swiper(mode=mode).solve(WeightRestriction(alpha_w, alpha_n), weights)
+    return SweepPoint(
+        alpha_n=alpha_n,
+        ratio=ratio,
+        alpha_w=alpha_w,
+        metrics=TicketMetrics.from_assignment(result.assignment),
+    )
+
+
 def alpha_grid_sweep(
     weights: Sequence[int],
     *,
     alpha_ns: Sequence[Fraction] = DEFAULT_ALPHA_NS,
     ratios: Sequence[Fraction] = DEFAULT_RATIOS,
     mode: str = "full",
+    jobs: Union[int, str] = 1,
 ) -> list[SweepPoint]:
     """Solve WR on every (alpha_n, ratio) grid cell (left-column heatmaps).
 
-    ``weights`` is a plain sequence or a :class:`repro.api.Committee`.
+    ``weights`` is a plain sequence or a :class:`repro.api.Committee`;
+    ``jobs`` fans cells out over worker processes (``"auto"`` = one per
+    core) with byte-identical output at any value.
     """
-    weights = _weights_of(weights)
+    from ..parallel.executor import ParallelExecutor
+
+    weights = tuple(_weights_of(weights))
+    cells = [
+        (alpha_n, ratio)
+        for alpha_n in alpha_ns
+        for ratio in ratios
+        if 0 < ratio * alpha_n < alpha_n < 1
+    ]
+    fn = functools.partial(_solve_grid_cell, weights, mode)
+    return ParallelExecutor(jobs).map(fn, cells)
+
+
+def _solve_nfrac_point(
+    weights: tuple[int, ...],
+    alpha_w: Fraction,
+    alpha_n: Fraction,
+    trials: int,
+    seed: int,
+    mode: str,
+    item: tuple[int, float],
+) -> ScalingPoint:
+    """One scaling point as a pure, picklable work unit.
+
+    The bootstrap stream is keyed by the point's *index*, not advanced
+    sequentially across points, so each point's draws are independent of
+    which worker computes it (and of every other point).
+    """
+    index, nfrac = item
     solver = Swiper(mode=mode)
-    points = []
-    for alpha_n in alpha_ns:
-        for ratio in ratios:
-            alpha_w = ratio * alpha_n
-            if not 0 < alpha_w < alpha_n < 1:
-                continue
-            result = solver.solve(WeightRestriction(alpha_w, alpha_n), weights)
-            points.append(
-                SweepPoint(
-                    alpha_n=alpha_n,
-                    ratio=ratio,
-                    alpha_w=alpha_w,
-                    metrics=TicketMetrics.from_assignment(result.assignment),
-                )
-            )
-    return points
+    problem = WeightRestriction(alpha_w, alpha_n)
+    rng = random.Random(f"{seed}|nfrac|{index}")
+    size = max(1, round(nfrac * len(weights)))
+    totals, maxes, holders = [], [], []
+    for _ in range(trials):
+        sample = resample(weights, size, rng)
+        if not any(sample):
+            sample[0] = max(weights)
+        result = solver.solve(problem, sample)
+        totals.append(result.assignment.total)
+        maxes.append(result.assignment.max_tickets)
+        holders.append(result.assignment.holders)
+    return ScalingPoint(
+        nfrac=nfrac,
+        size=size,
+        total_tickets=sum(totals) / trials,
+        max_tickets=sum(maxes) / trials,
+        holders=sum(holders) / trials,
+    )
 
 
 def nfrac_sweep(
@@ -87,36 +145,20 @@ def nfrac_sweep(
     trials: int = 10,
     seed: int = 0,
     mode: str = "full",
+    jobs: Union[int, str] = 1,
 ) -> list[ScalingPoint]:
     """Bootstrap scaling series for one parameter pair (right columns).
 
     The paper runs 100 trials per point; ``trials`` is configurable so the
     benchmark harness can trade precision for wall-clock.  ``weights`` is
-    a plain sequence or a :class:`repro.api.Committee`.
+    a plain sequence or a :class:`repro.api.Committee`; ``jobs`` fans the
+    nfrac points out over worker processes with byte-identical output at
+    any value.
     """
-    weights = _weights_of(weights)
-    solver = Swiper(mode=mode)
-    problem = WeightRestriction(alpha_w, alpha_n)
-    rng = random.Random(seed)
-    out = []
-    for nfrac in nfracs:
-        size = max(1, round(nfrac * len(weights)))
-        totals, maxes, holders = [], [], []
-        for _ in range(trials):
-            sample = resample(weights, size, rng)
-            if not any(sample):
-                sample[0] = max(weights)
-            result = solver.solve(problem, sample)
-            totals.append(result.assignment.total)
-            maxes.append(result.assignment.max_tickets)
-            holders.append(result.assignment.holders)
-        out.append(
-            ScalingPoint(
-                nfrac=nfrac,
-                size=size,
-                total_tickets=sum(totals) / trials,
-                max_tickets=sum(maxes) / trials,
-                holders=sum(holders) / trials,
-            )
-        )
-    return out
+    from ..parallel.executor import ParallelExecutor
+
+    weights = tuple(_weights_of(weights))
+    fn = functools.partial(
+        _solve_nfrac_point, weights, alpha_w, alpha_n, trials, seed, mode
+    )
+    return ParallelExecutor(jobs).map(fn, list(enumerate(nfracs)))

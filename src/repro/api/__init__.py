@@ -90,6 +90,22 @@ _PARALLEL_EXPORTS = (
     "run_specs",
 )
 
+#: crash-recovery names re-exported from :mod:`repro.recovery`, lazily
+#: because the recoverable party imports the protocol layer (which
+#: reaches back into this facade via the scenario harness).
+_RECOVERY_EXPORTS = (
+    "BackoffSchedule",
+    "HeartbeatMonitor",
+    "InMemoryWal",
+    "RecoverableSmrParty",
+    "StateSyncRequest",
+    "StateSyncResponse",
+    "WalError",
+    "WriteAheadLog",
+    "entries_digest",
+    "open_wal",
+)
+
 __all__ = [
     "Committee",
     "CommitteeValidationError",
@@ -112,6 +128,7 @@ __all__ = [
     *_SERVICE_EXPORTS,
     *_ADVERSARY_EXPORTS,
     *_PARALLEL_EXPORTS,
+    *_RECOVERY_EXPORTS,
 ]
 
 
@@ -128,4 +145,8 @@ def __getattr__(name: str):
         from .. import parallel
 
         return getattr(parallel, name)
+    if name in _RECOVERY_EXPORTS:
+        from .. import recovery
+
+        return getattr(recovery, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -59,6 +59,9 @@ class Session:
     params: tuple = ()
     policy: str = "swiper"
     description: str = ""
+    #: directory for durable per-party WALs (None = ephemeral/in-memory;
+    #: required by the proc backend's crash-restart recovery path)
+    state_dir: Optional[str] = None
     #: the originating scenario spec, when built via :meth:`from_spec`
     base_spec: Optional[ScenarioSpec] = None
 
@@ -70,6 +73,7 @@ class Session:
         backend: Union[str, BackendSpec] = "sim",
         timeout: Optional[float] = None,
         policy: str = "swiper",
+        state_dir: Optional[str] = None,
     ) -> "Session":
         """Wrap a declarative scenario spec as a runnable session."""
         chosen = BackendSpec.of(backend)
@@ -88,6 +92,7 @@ class Session:
             params=spec.params,
             policy=policy,
             description=spec.description,
+            state_dir=state_dir,
             base_spec=spec,
         )
 
@@ -137,6 +142,7 @@ class Session:
             backend=self.backend.name,
             timeout=self.backend.timeout,
             committee=self.committee,
+            state_dir=self.state_dir,
         )
 
     def solve(self, problem, *, policy: Optional[str] = None, verify: bool = True):

@@ -254,6 +254,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=60.0, help="runtime-backend timeout (s)"
     )
     scenario.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for durable per-party write-ahead logs (crash-restart "
+        "scenarios persist and recover protocol state here; default: a "
+        "run-scoped temporary directory)",
+    )
+    scenario.add_argument(
         "--save", action="store_true", help="also write the record to results/"
     )
     scenario.add_argument(
@@ -775,7 +783,12 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
         spec = get_scenario(args.name)
         if args.seed is not None:
             spec = spec.with_seed(args.seed)
-        session = Session.from_spec(spec, backend=args.backend, timeout=args.timeout)
+        session = Session.from_spec(
+            spec,
+            backend=args.backend,
+            timeout=args.timeout,
+            state_dir=args.state_dir,
+        )
         result = session.run()
     except (KeyError, ValueError, RuntimeError, TimeoutError, OSError) as exc:
         message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc

@@ -29,9 +29,25 @@ the handshake):
    :class:`~repro.scenarios.harness.ScenarioResult` (message/byte totals
    sum to exactly the single-process backends' counts).
 
+Crash-restart plans (``spec.faults.restarts``) exercise real process
+death: at ``crash_at`` the parent SIGKILLs the worker; at ``restart_at``
+it respawns one with a bumped *incarnation* and the run's ``state_dir``.
+The reborn worker replays its party's write-ahead log, broadcasts a
+state-sync request, re-proposes its batches, and replies ``("rejoined",
+nid, info)`` -- only then does the parent re-broadcast the refreshed
+peer map (the respawn gets a new kernel-assigned port), so no peer
+learns the new address before the node can absorb traffic.  Peers'
+send failures during the outage park frames on per-link retry queues
+(see :class:`~repro.runtime.transport.ProcMeshTransport`), which drain
+once the link heals.  A SIGKILL destroys the victim's frame counters,
+so restart runs relax termination detection to done-and-idle over
+stable polls; the retry queues keep senders non-idle while any frame
+awaits redelivery, which is what makes the relaxation safe.
+
 Failure containment: a worker that dies (or reports a pump failure)
-surfaces as :class:`ProcError`; the parent reaps every child on any
-exit path, including timeout.
+surfaces as :class:`ProcError` with a per-worker postmortem -- OS pid,
+age of the last status heard, and frame counters; the parent reaps
+every child on any exit path, including timeout.
 """
 
 from __future__ import annotations
@@ -39,6 +55,8 @@ from __future__ import annotations
 import asyncio
 import multiprocessing
 import os
+import shutil
+import tempfile
 import time
 import traceback
 from typing import Any, Optional
@@ -63,11 +81,18 @@ class ProcError(RuntimeError):
 # -- worker side -----------------------------------------------------------------------
 
 
-def _worker_entry(spec_dict: dict, nid: int, conn, host: str) -> None:
+def _worker_entry(
+    spec_dict: dict,
+    nid: int,
+    conn,
+    host: str,
+    state_dir: Optional[str] = None,
+    incarnation: int = 0,
+) -> None:
     if os.environ.get(CRASH_ENV) == str(nid):
         os._exit(3)
     try:
-        asyncio.run(_worker_main(spec_dict, nid, conn, host))
+        asyncio.run(_worker_main(spec_dict, nid, conn, host, state_dir, incarnation))
     except BaseException:  # noqa: BLE001 -- last-resort report, then die
         try:
             conn.send(("crashed", nid, traceback.format_exc(limit=8)))
@@ -93,7 +118,14 @@ def _command_queue(conn, loop: asyncio.AbstractEventLoop) -> asyncio.Queue:
     return queue
 
 
-async def _worker_main(spec_dict: dict, nid: int, conn, host: str) -> None:
+async def _worker_main(
+    spec_dict: dict,
+    nid: int,
+    conn,
+    host: str,
+    state_dir: Optional[str],
+    incarnation: int,
+) -> None:
     from ..runtime.cluster import RuntimeMetrics
     from ..runtime.codec import default_registry
     from ..runtime.node import RuntimeNode
@@ -101,14 +133,18 @@ async def _worker_main(spec_dict: dict, nid: int, conn, host: str) -> None:
     from ..scenarios.harness import RunContext, _apply_static_faults, _fault_plan, build_driver
 
     spec = ScenarioSpec.from_dict(spec_dict)
-    driver = build_driver(spec, validate=False)  # parent already vetted
+    driver = build_driver(spec, validate=False, state_dir=state_dir)  # parent vetted
     faults, crashed, groups, links = _fault_plan(spec, driver)
     live_nodes = tuple(
         n for n in range(driver.n_nodes) if n not in set(crashed)
     )
     metrics = RuntimeMetrics()
     transport = ProcMeshTransport(
-        default_registry(), faults=faults, record=metrics.record, host=host
+        default_registry(),
+        faults=faults,
+        record=metrics.record,
+        host=host,
+        incarnation=incarnation,
     )
     port = await transport.listen()
     loop = asyncio.get_running_loop()
@@ -121,12 +157,28 @@ async def _worker_main(spec_dict: dict, nid: int, conn, host: str) -> None:
         return
     transport.configure(nid, command[1])
 
-    node = RuntimeNode(driver.factory(nid), transport, list(range(driver.n_nodes)))
+    recovering = incarnation > 0
+    party = driver.factory(nid)
+    node = RuntimeNode(party, transport, list(range(driver.n_nodes)))
     ctx = RunContext(
         parties={nid: node.party},
         live_nodes=live_nodes,
         schedule=lambda when, fn: loop.call_later(when, fn),
     )
+    if spec.faults.restarts:
+        # self-healing plumbing: persist receive watermarks through the
+        # party's WAL and run the heartbeat failure detector, feeding
+        # suspect/alive transitions into the run's metrics
+        if hasattr(party, "note_watermark"):
+            transport.watermark_sink = party.note_watermark
+
+        def _suspect(_peer: int) -> None:
+            metrics.suspect_transitions += 1
+
+        def _alive(_peer: int) -> None:
+            metrics.alive_transitions += 1
+
+        transport.enable_heartbeat(on_suspect=_suspect, on_alive=_alive)
     # The full fault plan goes into every worker's controller; only the
     # (src, dst == this node) decisions ever fire, so per-worker drop and
     # delay counts sum to the single-process totals.
@@ -139,17 +191,42 @@ async def _worker_main(spec_dict: dict, nid: int, conn, host: str) -> None:
         ctx.at(spec.faults.heal_at, faults.heal)
     if nid in set(crashed):
         node.party.crash()
-    node.start()
     observer = nid in set(driver.observers(ctx))
-    if nid in live_nodes:
-        driver.start_node(ctx, nid)
+    if recovering:
+        # Rejoin: replay the WAL into the fresh party (queueing the
+        # state-sync broadcast on the outbox), seed the transport's dedup
+        # watermarks from the replayed floor, then start pumping and
+        # re-propose this node's batches.  The parent withholds our new
+        # address from peers until "rejoined", so nothing arrives before
+        # the inbox exists.
+        party.restart()
+        transport.restore_watermarks(getattr(party, "watermarks", {}))
+        node.start()
+        driver.restart_node(ctx, nid)
+        conn.send(
+            (
+                "rejoined",
+                nid,
+                {
+                    "os_pid": os.getpid(),
+                    "recovered_from_wal": getattr(party, "recovered_from_wal", 0),
+                },
+            )
+        )
+    else:
+        node.start()
+        if nid in live_nodes:
+            driver.start_node(ctx, nid)
 
     while True:
         command = await commands.get()
         if command is None or command[0] == "stop":
             break
         kind = command[0]
-        if kind == "status":
+        if kind == "peers":
+            # refreshed address map (a peer respawned on a new port)
+            transport.reconfigure(command[1])
+        elif kind == "status":
             failure = node.failure or transport.failure
             conn.send(
                 (
@@ -177,6 +254,21 @@ async def _worker_main(spec_dict: dict, nid: int, conn, host: str) -> None:
                         "dropped": faults.dropped_messages,
                         "delayed": faults.delayed_messages,
                         "os_pid": os.getpid(),
+                        "recovery": (
+                            {
+                                "restarts": party.counters.get("restarts", 0),
+                                "recovered_from_wal": getattr(
+                                    party, "recovered_from_wal", 0
+                                ),
+                                "recovered_from_peers": getattr(
+                                    party, "recovered_from_peers", 0
+                                ),
+                                "duplicates_dropped": transport.duplicates_dropped,
+                                "reconnects": transport.reconnects,
+                            }
+                            if spec.faults.restarts
+                            else None
+                        ),
                     },
                 )
             )
@@ -203,6 +295,7 @@ class ProcCluster:
         committee=None,
         host: str = "127.0.0.1",
         poll_interval: float = 0.01,
+        state_dir: Optional[str] = None,
     ) -> None:
         from ..scenarios.harness import (
             _DRIVERS,
@@ -241,15 +334,52 @@ class ProcCluster:
             if self.driver.adversary is not None
             else True
         )
+        #: the crash-restart plan in node-id terms, ordered by fire time
+        self.restarts = sorted(
+            (crash_at, restart_at, node_id)
+            for pid, crash_at, restart_at in spec.faults.restarts
+            for node_id in self.driver.map_pid(pid)
+        )
+        #: durable WAL directory; auto-provisioned (and reaped) for
+        #: restart runs when the caller does not supply one
+        self.state_dir = state_dir
+        self._own_state_dir: Optional[str] = None
+        if self.restarts and self.state_dir is None:
+            self._own_state_dir = tempfile.mkdtemp(prefix="repro-proc-state-")
+            self.state_dir = self._own_state_dir
+        #: per-restarted-node wall-clock recovery record
+        self.recovery_events: dict[int, dict[str, float]] = {}
         self._procs: list = []
         self._conns: list = []
+        self._down: set[int] = set()
+        self._incarnations: dict[int, int] = {}
+        #: nid -> (monotonic time, frames sent, frames received) of the
+        #: last status heard -- the postmortem in ProcError messages
+        self._last_status: dict[int, tuple[float, int, int]] = {}
+        self._addresses: dict[int, tuple[str, int]] = {}
+        self._mp_ctx = None
+        self._spec_dict: Optional[dict] = None
 
     # -- plumbing -----------------------------------------------------------------
+    def _postmortem(self, nid: int) -> str:
+        """Per-worker forensics appended to crash/timeout errors."""
+        proc = self._procs[nid] if nid < len(self._procs) else None
+        pid = proc.pid if proc is not None else "?"
+        last = self._last_status.get(nid)
+        if last is None:
+            return f" [pid={pid}; no status heard yet]"
+        age = time.perf_counter() - last[0]
+        return (
+            f" [pid={pid}; last status {age:.2f}s ago; "
+            f"frames sent={last[1]} received={last[2]}]"
+        )
+
     def _alive_check(self, nid: int) -> None:
         proc = self._procs[nid]
         if not proc.is_alive():
             raise ProcError(
                 f"proc worker {nid} died (exit code {proc.exitcode})"
+                f"{self._postmortem(nid)}"
             )
 
     def _recv(self, nid: int, deadline: float) -> tuple:
@@ -260,14 +390,17 @@ class ProcCluster:
             if remaining <= 0:
                 raise TimeoutError(
                     f"proc cluster timed out after {self.timeout}s waiting on "
-                    f"worker {nid}"
+                    f"worker {nid}{self._postmortem(nid)}"
                 )
             if conn.poll(min(remaining, 0.05)):
                 try:
                     message = conn.recv()
                 except (EOFError, OSError):
                     self._alive_check(nid)
-                    raise ProcError(f"proc worker {nid} closed its control pipe")
+                    raise ProcError(
+                        f"proc worker {nid} closed its control pipe"
+                        f"{self._postmortem(nid)}"
+                    )
                 if message[0] == "crashed":
                     raise ProcError(
                         f"proc worker {message[1]} crashed:\n{message[2]}"
@@ -275,11 +408,15 @@ class ProcCluster:
                 return message
             self._alive_check(nid)
 
+    def _live_workers(self) -> list[int]:
+        return [nid for nid in range(len(self._conns)) if nid not in self._down]
+
     def _request_all(self, command: tuple, reply: str, deadline: float) -> dict[int, Any]:
-        for conn in self._conns:
-            conn.send(command)
+        live = self._live_workers()
+        for nid in live:
+            self._conns[nid].send(command)
         out = {}
-        for nid in range(len(self._conns)):
+        for nid in live:
             message = self._recv(nid, deadline)
             if message[0] != reply:
                 raise ProcError(
@@ -289,36 +426,50 @@ class ProcCluster:
         return out
 
     # -- lifecycle ----------------------------------------------------------------
+    def _spawn(self, nid: int, incarnation: int):
+        parent_conn, child_conn = self._mp_ctx.Pipe()
+        suffix = f"-r{incarnation}" if incarnation else ""
+        proc = self._mp_ctx.Process(
+            target=_worker_entry,
+            args=(
+                self._spec_dict,
+                nid,
+                child_conn,
+                self.host,
+                self.state_dir,
+                incarnation,
+            ),
+            name=f"repro-proc-{self.spec.name}-{nid}{suffix}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
     def run(self):
         from ..scenarios.harness import ScenarioResult
 
         deadline = time.perf_counter() + self.timeout
-        ctx = multiprocessing.get_context(
+        self._mp_ctx = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else None
         )
-        spec_dict = self.spec.to_dict()
+        self._spec_dict = self.spec.to_dict()
         try:
             for nid in range(self.driver.n_nodes):
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_entry,
-                    args=(spec_dict, nid, child_conn, self.host),
-                    name=f"repro-proc-{self.spec.name}-{nid}",
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
+                proc, conn = self._spawn(nid, 0)
                 self._procs.append(proc)
-                self._conns.append(parent_conn)
-            addresses = self._collect_ready(deadline)
+                self._conns.append(conn)
+            self._addresses = self._collect_ready(deadline)
             started_at = time.perf_counter()
             for conn in self._conns:
-                conn.send(("peers", addresses))
-            self._await_completion(deadline)
+                conn.send(("peers", self._addresses))
+            self._await_completion(deadline, started_at)
             quiesced_at = time.perf_counter()
             results = self._request_all(("finish",), "result", deadline)
         finally:
             self._teardown()
+            if self._own_state_dir is not None:
+                shutil.rmtree(self._own_state_dir, ignore_errors=True)
 
         committee = self.driver.committee
         messages = bytes_total = 0
@@ -328,6 +479,28 @@ class ProcCluster:
         decided: dict[str, str] = {}
         workers: dict[str, int] = {}
         completed = True
+        recovery: Optional[dict] = None
+        if self.restarts:
+            recovery = {
+                "nodes": {},
+                "restarts": 0,
+                "recovered_from_wal": 0,
+                "recovered_from_peers": 0,
+                "duplicates_dropped": 0,
+                "reconnects": 0,
+                "suspect_transitions": 0,
+                "alive_transitions": 0,
+            }
+            for nid, events in sorted(self.recovery_events.items()):
+                node_rec = dict(events)
+                if "killed_at" in events and "respawned_at" in events:
+                    node_rec["downtime_seconds"] = (
+                        events["respawned_at"] - events["killed_at"]
+                    )
+                    node_rec["rejoin_seconds"] = (
+                        quiesced_at - started_at - events["respawned_at"]
+                    )
+                recovery["nodes"][str(nid)] = node_rec
         for nid in sorted(results):
             r = results[nid]
             m = r["metrics"]
@@ -340,6 +513,17 @@ class ProcCluster:
             dropped += r["dropped"]
             delayed += r["delayed"]
             workers[str(nid)] = r["os_pid"]
+            if recovery is not None and r.get("recovery"):
+                for key in (
+                    "restarts",
+                    "recovered_from_wal",
+                    "recovered_from_peers",
+                    "duplicates_dropped",
+                    "reconnects",
+                ):
+                    recovery[key] += r["recovery"][key]
+                recovery["suspect_transitions"] += m.get("suspect_transitions", 0)
+                recovery["alive_transitions"] += m.get("alive_transitions", 0)
             if r["observer"]:
                 decided[str(nid)] = r["output"]
                 completed = completed and bool(r["done"])
@@ -365,6 +549,7 @@ class ProcCluster:
                 else None
             ),
             workers=workers,
+            recovery=recovery,
         )
 
     def _collect_ready(self, deadline: float) -> dict[int, tuple[str, int]]:
@@ -378,11 +563,76 @@ class ProcCluster:
             addresses[message[1]] = message[2]
         return addresses
 
-    def _await_completion(self, deadline: float) -> None:
+    # -- crash-restart orchestration ----------------------------------------------
+    def _kill_worker(self, nid: int, elapsed: float) -> None:
+        """SIGKILL the worker mid-run -- a real crash, not a simulation."""
+        proc = self._procs[nid]
+        proc.kill()
+        proc.join(timeout=5.0)
+        self._down.add(nid)
+        try:
+            self._conns[nid].close()
+        except OSError:
+            pass
+        self.recovery_events.setdefault(nid, {})["killed_at"] = elapsed
+
+    def _respawn_worker(self, nid: int, elapsed: float, deadline: float) -> None:
+        """Respawn a SIGKILLed worker and re-wire its new port.
+
+        The reborn worker gets the run's ``state_dir`` and a bumped
+        incarnation; the refreshed peer map reaches the other workers
+        only after the worker reports ``rejoined``, so its WAL replay
+        and watermark restore finish before any peer can dial the new
+        port.
+        """
+        incarnation = self._incarnations.get(nid, 0) + 1
+        self._incarnations[nid] = incarnation
+        proc, conn = self._spawn(nid, incarnation)
+        self._procs[nid] = proc
+        self._conns[nid] = conn
+        self._down.discard(nid)
+        message = self._recv(nid, deadline)
+        if message[0] != "ready":
+            raise ProcError(
+                f"respawned proc worker {nid} sent {message[0]!r} before 'ready'"
+            )
+        self._addresses[nid] = message[2]
+        conn.send(("peers", self._addresses))
+        message = self._recv(nid, deadline)
+        if message[0] != "rejoined":
+            raise ProcError(
+                f"respawned proc worker {nid} sent {message[0]!r} before 'rejoined'"
+            )
+        events = self.recovery_events.setdefault(nid, {})
+        events["respawned_at"] = elapsed
+        events["recovered_from_wal"] = message[2].get("recovered_from_wal", 0)
+        for other in self._live_workers():
+            if other != nid:
+                self._conns[other].send(("peers", self._addresses))
+
+    def _await_completion(self, deadline: float, started_at: float) -> None:
         """Distributed termination detection (see module docstring)."""
+        # (fire time, 0=kill | 1=respawn, nid): kills sort before the
+        # respawns they precede, and a kill at t ties before an unrelated
+        # respawn at t only by nid -- the spec forbids equal-time pairs
+        # for one pid (restart_at > crash_at).
+        events = sorted(
+            [(crash_at, 0, nid) for crash_at, _, nid in self.restarts]
+            + [(restart_at, 1, nid) for _, restart_at, nid in self.restarts]
+        )
         stable = 0
         while True:
+            elapsed = time.perf_counter() - started_at
+            while events and events[0][0] <= elapsed:
+                _, action, nid = events.pop(0)
+                if action == 0:
+                    self._kill_worker(nid, elapsed)
+                else:
+                    self._respawn_worker(nid, elapsed, deadline)
             statuses = self._request_all(("status",), "status", deadline)
+            now = time.perf_counter()
+            for nid, s in statuses.items():
+                self._last_status[nid] = (now, s["sent"], s["received"])
             failures = {
                 nid: s["failure"] for nid, s in statuses.items() if s["failure"]
             }
@@ -393,10 +643,22 @@ class ProcCluster:
                 raise ProcError(f"proc worker failure at the pump: {details}")
             sent = sum(s["sent"] for s in statuses.values())
             received = sum(s["received"] for s in statuses.values())
+            # A SIGKILLed worker takes its counters with it, so restart
+            # runs cannot balance the books; they rely on done + idle
+            # instead (retry queues keep senders non-idle while any
+            # frame awaits redelivery).
+            conserved = (sent == received) if not self.restarts else True
             quiescent = (
-                all(s["idle"] for s in statuses.values()) and sent == received
+                all(s["idle"] for s in statuses.values())
+                and conserved
+                and not events
+                and not self._down
             )
-            done = all(statuses[nid]["done"] for nid in self.observers)
+            done = all(
+                statuses[nid]["done"]
+                for nid in self.observers
+                if nid in statuses
+            )
             if quiescent and (done or not self.expect_liveness):
                 stable += 1
                 if stable >= _STABLE_POLLS:
@@ -404,16 +666,21 @@ class ProcCluster:
             else:
                 stable = 0
             if time.perf_counter() > deadline:
+                postmortems = "".join(
+                    f"\n  worker {nid}:{self._postmortem(nid)}"
+                    for nid in range(len(self._procs))
+                )
                 raise TimeoutError(
                     f"proc scenario did not complete within {self.timeout}s "
                     f"(done={done}, in-flight frames={sent - received})"
+                    f"{postmortems}"
                 )
             time.sleep(self.poll_interval)
 
     def _teardown(self) -> None:
-        for conn in self._conns:
+        for nid in self._live_workers():
             try:
-                conn.send(("stop",))
+                self._conns[nid].send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
@@ -432,11 +699,18 @@ class ProcCluster:
                 pass
         self._procs.clear()
         self._conns.clear()
+        self._down.clear()
 
 
 def run_proc_scenario(
-    spec: ScenarioSpec, *, timeout: float = 60.0, committee=None
+    spec: ScenarioSpec,
+    *,
+    timeout: float = 60.0,
+    committee=None,
+    state_dir: Optional[str] = None,
 ):
     """Execute ``spec`` process-per-party; the ``proc`` branch of
     :func:`~repro.scenarios.harness.run_scenario`."""
-    return ProcCluster(spec, timeout=timeout, committee=committee).run()
+    return ProcCluster(
+        spec, timeout=timeout, committee=committee, state_dir=state_dir
+    ).run()

@@ -1,0 +1,59 @@
+"""Bounded exponential backoff with seeded jitter.
+
+Reconnect storms are the classic self-inflicted outage: every link that
+lost the same peer retries on the same schedule and the peer drowns the
+moment it returns.  The standard fix is exponential growth (spread load
+over time) plus jitter (spread load across links).  Jitter is drawn from
+a per-schedule ``random.Random`` so a seeded run produces the same delay
+sequence every time -- determinism is a repo-wide invariant and retry
+timing must not be the one place wall-clock entropy sneaks in.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["BackoffSchedule"]
+
+
+class BackoffSchedule:
+    """``base * 2^attempt`` capped at ``max_delay``, +/- ``jitter`` fraction.
+
+    ``next_delay()`` advances the attempt counter; ``reset()`` (call on
+    success) restarts from the base delay.  With ``jitter=0.5`` the
+    k-th delay is uniform in ``[0.5, 1.5] * min(base * 2^k, max_delay)``.
+    """
+
+    def __init__(
+        self,
+        *,
+        base: float = 0.05,
+        max_delay: float = 2.0,
+        jitter: float = 0.5,
+        seed: object = 0,
+    ) -> None:
+        if base <= 0:
+            raise ValueError("backoff base must be positive")
+        if max_delay < base:
+            raise ValueError("max_delay must be >= base")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.base = base
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.attempt = 0
+        self._rng = random.Random(f"backoff|{seed}")
+
+    def next_delay(self) -> float:
+        """The delay to sleep before the next attempt."""
+        raw = min(self.base * (2.0**self.attempt), self.max_delay)
+        self.attempt += 1
+        if self.jitter == 0.0:
+            return raw
+        return raw * self._rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+
+    def reset(self) -> None:
+        """Call after a successful attempt: the next failure starts over
+        from the base delay (the jitter stream keeps advancing, so the
+        sequence stays a pure function of the seed and call order)."""
+        self.attempt = 0

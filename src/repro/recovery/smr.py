@@ -1,0 +1,272 @@
+"""Crash-recoverable SMR replica: WAL-backed commits and state sync.
+
+The paper's checkpointing protocol exists so a recovering party can
+resume from a threshold-signed digest instead of replaying history from
+genesis.  This module supplies the party half of that story for the
+composed SMR protocol:
+
+* every commit is appended to a :class:`~repro.recovery.wal.WriteAheadLog`
+  *before* it is applied (write-ahead), so a SIGKILL between fsync and
+  apply loses at most the in-memory suffix, never corrupts the log;
+* on :meth:`restart` the replica wipes its volatile Bracha state,
+  replays the WAL's intact prefix, then broadcasts a
+  :class:`StateSyncRequest`; live peers answer with their committed
+  entries (and any stored checkpoint certificates) and keep *pushing*
+  each later commit to the requester, so instances whose ECHO/READY
+  traffic predates the crash still reach the recovered replica;
+* a synced entry is applied only once a **deliver quorum by weight** of
+  distinct responders vouches for it -- the same amplification rule
+  Bracha uses for READY, so up to ``f_w`` Byzantine responders cannot
+  forge an entry into the recovered log -- or immediately when it is
+  covered by a verified threshold-signed checkpoint certificate.
+
+Duplicate redelivery after recovery is harmless by construction: every
+Bracha handler in :class:`~repro.protocols.smr.SmrParty` keys its state
+by sets, so replays are absorbed idempotently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..protocols.smr import SmrParty, batch_position
+from ..weighted.quorum import QuorumPolicy
+from .wal import InMemoryWal, WriteAheadLog
+
+__all__ = ["StateSyncRequest", "StateSyncResponse", "RecoverableSmrParty", "entries_digest"]
+
+
+@dataclass(frozen=True)
+class StateSyncRequest:
+    """Broadcast by a restarted replica: send me your committed state."""
+
+    requester: int
+
+    def wire_size(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True)
+class StateSyncResponse:
+    """One peer's committed entries (and checkpoint certificates).
+
+    ``entries`` is ``((epoch, proposer, payload), ...)``; ``certificates``
+    is ``((epoch, digest, certificate), ...)``.  Sent once as a snapshot
+    when the request arrives and then incrementally (one entry at a
+    time) for every later commit, so a recovering replica converges even
+    on instances that were still in flight when it crashed.
+    """
+
+    responder: int
+    entries: tuple = ()
+    certificates: tuple = ()
+
+    def wire_size(self) -> int:
+        return 64 + sum(24 + len(p) for _, _, p in self.entries) + sum(
+            24 + len(d) + len(c) for _, d, c in self.certificates
+        )
+
+
+def entries_digest(entries: list[tuple[int, int, bytes]]) -> bytes:
+    """Order-independent digest of one epoch's committed entries; what a
+    checkpoint certificate is checked against during state sync."""
+    h = hashlib.sha256()
+    for proposer, payload in sorted((p, pl) for _, p, pl in entries):
+        h.update(proposer.to_bytes(8, "big"))
+        h.update(hashlib.sha256(payload).digest())
+    return h.digest()
+
+
+class RecoverableSmrParty(SmrParty):
+    """:class:`SmrParty` with durable commits and restart/rejoin."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        quorums: QuorumPolicy,
+        coin_source: Callable[[int], int],
+        *,
+        wal=None,
+        on_commit: Optional[Callable[[int, int, int, bytes], None]] = None,
+        verify_cert: Optional[Callable[[int, bytes, bytes], bool]] = None,
+    ) -> None:
+        super().__init__(pid, n, quorums, coin_source, on_commit=on_commit)
+        self.wal = wal if wal is not None else InMemoryWal()
+        self.verify_cert = verify_cert
+        #: epoch -> (digest, certificate) from checkpointing / state sync
+        self.certificates: dict[int, tuple[bytes, bytes]] = {}
+        #: per-source receive watermarks persisted for the transport layer
+        self.watermarks: dict[int, int] = {}
+        self.restarts = 0
+        self.recovered_from_wal = 0
+        self.recovered_from_peers = 0
+        #: peers currently rejoining; every commit is pushed to them
+        self._sync_subscribers: set[int] = set()
+        #: (epoch, proposer, payload) -> responders vouching for it
+        self._sync_confirmers: dict[tuple[int, int, bytes], set[int]] = {}
+        self.on(StateSyncRequest, self._handle_sync_request)
+        self.on(StateSyncResponse, self._handle_sync_response)
+
+    # -- durable commit path ------------------------------------------------------
+    def _commit(self, epoch: int, proposer: int, payload: bytes) -> None:
+        position = batch_position(proposer, self.coin_source(epoch), self.n)
+        if position in self.committed.get(epoch, {}):
+            return
+        # write-ahead: the record is durable (or at least framed) before
+        # the in-memory state and the on_commit callback observe it
+        self.wal.append(
+            {
+                "kind": "commit",
+                "epoch": epoch,
+                "proposer": proposer,
+                "payload": payload.hex(),
+            }
+        )
+        self._apply_commit(epoch, proposer, payload)
+
+    def _apply_commit(self, epoch: int, proposer: int, payload: bytes) -> None:
+        epoch_map = self.committed.setdefault(epoch, {})
+        position = batch_position(proposer, self.coin_source(epoch), self.n)
+        if position in epoch_map:
+            return
+        epoch_map[position] = (proposer, payload)
+        self.bump("batches_committed")
+        if self.on_commit is not None:
+            self.on_commit(self.pid, epoch, position, payload)
+        if self._sync_subscribers:
+            push = StateSyncResponse(
+                responder=self.pid, entries=((epoch, proposer, payload),)
+            )
+            for peer in sorted(self._sync_subscribers):
+                self.send(peer, push)
+
+    def store_certificate(self, epoch: int, digest: bytes, certificate: bytes) -> None:
+        """Persist a threshold-signed checkpoint certificate."""
+        if self.certificates.get(epoch) == (digest, certificate):
+            return
+        self.wal.append(
+            {
+                "kind": "cert",
+                "epoch": epoch,
+                "digest": digest.hex(),
+                "cert": certificate.hex(),
+            }
+        )
+        self.certificates[epoch] = (digest, certificate)
+
+    def note_watermark(self, src: int, seq: int) -> None:
+        """Persist the transport's per-source receive watermark."""
+        if self.watermarks.get(src, -1) >= seq:
+            return
+        self.watermarks[src] = seq
+        self.wal.append({"kind": "watermark", "src": src, "seq": seq})
+
+    # -- restart / rejoin ---------------------------------------------------------
+    def restart(self) -> None:
+        """Rejoin after a crash: replay the WAL, then sync from peers."""
+        super().restart()
+        self.restarts += 1
+        self.committed.clear()
+        self._echoed.clear()
+        self._readied.clear()
+        self._echo_senders.clear()
+        self._ready_senders.clear()
+        self._sync_confirmers.clear()
+        self.certificates.clear()
+        self.watermarks.clear()
+        self.recovered_from_wal = self.replay_wal()
+        self.broadcast(StateSyncRequest(requester=self.pid))
+
+    def replay_wal(self) -> int:
+        """Apply the WAL's intact prefix; returns commits recovered."""
+        recovered = 0
+        for record in self.wal.replay():
+            kind = record.get("kind")
+            if kind == "commit":
+                before = len(self.committed.get(record["epoch"], {}))
+                self._apply_commit(
+                    record["epoch"],
+                    record["proposer"],
+                    bytes.fromhex(record["payload"]),
+                )
+                recovered += int(
+                    len(self.committed.get(record["epoch"], {})) > before
+                )
+            elif kind == "cert":
+                self.certificates[record["epoch"]] = (
+                    bytes.fromhex(record["digest"]),
+                    bytes.fromhex(record["cert"]),
+                )
+            elif kind == "watermark":
+                src, seq = record["src"], record["seq"]
+                if self.watermarks.get(src, -1) < seq:
+                    self.watermarks[src] = seq
+        return recovered
+
+    # -- sync protocol ------------------------------------------------------------
+    def _snapshot_entries(self) -> tuple:
+        entries = []
+        for epoch in sorted(self.committed):
+            for position in sorted(self.committed[epoch]):
+                proposer, payload = self.committed[epoch][position]
+                entries.append((epoch, proposer, payload))
+        return tuple(entries)
+
+    def _handle_sync_request(self, message: StateSyncRequest, sender: int) -> None:
+        if sender == self.pid or sender != message.requester:
+            return
+        self._sync_subscribers.add(sender)
+        certificates = tuple(
+            (epoch, digest, cert)
+            for epoch, (digest, cert) in sorted(self.certificates.items())
+        )
+        self.send(
+            sender,
+            StateSyncResponse(
+                responder=self.pid,
+                entries=self._snapshot_entries(),
+                certificates=certificates,
+            ),
+        )
+
+    def _handle_sync_response(self, message: StateSyncResponse, sender: int) -> None:
+        if sender != message.responder:
+            return
+        # certificate fast path: a verified threshold signature over an
+        # epoch digest lets the whole epoch apply without per-entry quorums
+        verified_epochs: set[int] = set()
+        if self.verify_cert is not None:
+            for epoch, digest, cert in message.certificates:
+                digest, cert = bytes(digest), bytes(cert)
+                if self.verify_cert(epoch, digest, cert):
+                    self.certificates.setdefault(epoch, (digest, cert))
+                    by_epoch = [e for e in message.entries if e[0] == epoch]
+                    if by_epoch and entries_digest(
+                        [(e, p, bytes(pl)) for e, p, pl in by_epoch]
+                    ) == digest:
+                        verified_epochs.add(epoch)
+        for epoch, proposer, payload in message.entries:
+            payload = bytes(payload)
+            if epoch in verified_epochs:
+                self._committed_via_sync(epoch, proposer, payload)
+                continue
+            key = (epoch, proposer, payload)
+            position = batch_position(proposer, self.coin_source(epoch), self.n)
+            if position in self.committed.get(epoch, {}):
+                continue
+            confirmers = self._sync_confirmers.setdefault(key, set())
+            confirmers.add(sender)
+            if self.quorums.deliver_quorum(confirmers):
+                del self._sync_confirmers[key]
+                self._committed_via_sync(epoch, proposer, payload)
+
+    def _committed_via_sync(self, epoch: int, proposer: int, payload: bytes) -> None:
+        position = batch_position(proposer, self.coin_source(epoch), self.n)
+        if position in self.committed.get(epoch, {}):
+            return
+        self.recovered_from_peers += 1
+        # durable like any other commit: a second crash must not redo the sync
+        self._commit(epoch, proposer, payload)

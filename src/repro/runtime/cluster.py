@@ -49,6 +49,9 @@ class RuntimeMetrics:
     elapsed_seconds: float = 0.0
     #: phase name -> seconds since cluster start when the phase was marked
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: failure-detector transitions (proc mesh heartbeats; 0 elsewhere)
+    suspect_transitions: int = 0
+    alive_transitions: int = 0
 
     def record(self, type_name: str, size: int) -> None:
         self.messages += 1
@@ -65,6 +68,8 @@ class RuntimeMetrics:
             "bytes_by_type": dict(self.bytes_by_type),
             "elapsed_seconds": self.elapsed_seconds,
             "phase_seconds": dict(self.phase_seconds),
+            "suspect_transitions": self.suspect_transitions,
+            "alive_transitions": self.alive_transitions,
         }
 
 
@@ -165,6 +170,13 @@ class Cluster:
         """Full crash: the party stops reacting AND its traffic is dropped."""
         self.party(pid).crash()
         self.faults.crash(pid)
+
+    def restart_node(self, pid: int) -> None:
+        """Crash-restart rejoin: traffic flows again first, then the
+        party recovers (recoverable parties replay their WAL and
+        broadcast a state-sync request from inside ``restart``)."""
+        self.faults.restart(pid)
+        self.party(pid).restart()
 
     def mark_phase(self, name: str) -> None:
         """Record wall-clock latency-to-now under ``name``."""

@@ -313,6 +313,7 @@ def default_registry() -> CodecRegistry:
     from ..protocols.reliable_broadcast import RbcEcho, RbcReady, RbcSend
     from ..protocols.smr import BatchEcho, BatchReady, BatchSend
     from ..protocols.vaba import Commit, Decide, Proposal, Vote, Vouch
+    from ..recovery.smr import StateSyncRequest, StateSyncResponse
 
     registry = CodecRegistry()
     for cls in (
@@ -348,6 +349,10 @@ def default_registry() -> CodecRegistry:
         Commit,
         Decide,
         Vouch,
+        # crash recovery (always registered: the fault-free wire format
+        # is unchanged because these are only ever sent after a restart)
+        StateSyncRequest,
+        StateSyncResponse,
     ):
         registry.register(cls)
     return registry

@@ -45,6 +45,7 @@ class FaultController:
 
     def __init__(self) -> None:
         self.crashed: set[int] = set()
+        self.restarted: set[int] = set()
         self._groups: list[frozenset[int]] = []
         self._link_delay: dict[tuple[int, int], float] = {}
         self._global_delay: float = 0.0
@@ -55,6 +56,15 @@ class FaultController:
     def crash(self, pid: int) -> None:
         """Silence ``pid``: all its inbound and outbound traffic is dropped."""
         self.crashed.add(pid)
+
+    def restart(self, pid: int) -> None:
+        """Un-crash ``pid`` (crash-restart fault): traffic flows again.
+
+        The transport-level half of a restart; the party itself must
+        separately recover its state (WAL replay + state sync).
+        """
+        self.crashed.discard(pid)
+        self.restarted.add(pid)
 
     def partition(self, *groups: Iterable[int]) -> None:
         """Split the cluster: a message is delivered only if some group

@@ -16,14 +16,28 @@ from __future__ import annotations
 
 import asyncio
 import struct
+from collections import deque
 from typing import Any, Callable, Optional
 
+from ..recovery.backoff import BackoffSchedule
+from ..recovery.heartbeat import HeartbeatMonitor
 from .codec import CodecRegistry, read_frame_body
 from .faults import FaultController
 
 __all__ = ["Transport", "InProcTransport", "TcpTransport", "ProcMeshTransport"]
 
 _HELLO = struct.Struct(">I")
+#: proc-mesh hello: (dialer pid, dialer incarnation) -- the incarnation
+#: lets a receiver reset its dedup watermark when a peer comes back
+#: reborn (its link sequence numbers restart from 1)
+_MESH_HELLO = struct.Struct(">II")
+#: proc-mesh per-frame sequence header; seq 0 is reserved for heartbeats
+_SEQ = struct.Struct(">Q")
+#: persist every Nth watermark advance (recovery only needs an
+#: approximate floor -- protocol handlers absorb redelivered duplicates)
+_WATERMARK_EVERY = 16
+#: an empty frame body's length prefix (heartbeats carry no payload)
+_LEN_ZERO = struct.pack(">I", 0)
 
 #: synchronous delivery callback: ``handler(src, message)``
 Handler = Callable[[int, Any], None]
@@ -255,6 +269,11 @@ class TcpTransport(Transport):
     ) -> None:
         super().__init__(registry, faults=faults, record=record)
         self.host = host
+        #: dial/write attempts per send before the error propagates; the
+        #: sleeps between attempts follow a seeded-jitter backoff
+        self.send_retries = 3
+        self.reconnects = 0
+        self._backoff = BackoffSchedule(base=0.02, max_delay=0.5, seed=host)
         self._servers: dict[int, asyncio.AbstractServer] = {}
         self._ports: dict[int, int] = {}
         self._writers: dict[tuple[int, int], asyncio.StreamWriter] = {}
@@ -299,10 +318,25 @@ class TcpTransport(Transport):
         if dst not in self._ports:
             raise KeyError(f"unknown destination {dst}")
         framed = self._encode_frame_and_record(message)
-        writer = await self._writer_for(src, dst)
-        writer.write(framed)
-        await writer.drain()
-        return len(framed) - 4
+        # Self-healing: a dropped stream (peer restarting its listener, a
+        # flaky localhost accept queue) is retried on a fresh connection
+        # with backoff before the failure propagates to the node.
+        attempt = 0
+        while True:
+            try:
+                writer = await self._writer_for(src, dst)
+                writer.write(framed)
+                await writer.drain()
+                self._backoff.reset()
+                return len(framed) - 4
+            except (ConnectionError, OSError):
+                self._writers.pop((src, dst), None)
+                attempt += 1
+                if attempt > self.send_retries:
+                    self._resolve()
+                    raise
+                self.reconnects += 1
+                await asyncio.sleep(self._backoff.next_delay())
 
     async def _writer_for(self, src: int, dst: int) -> asyncio.StreamWriter:
         key = (src, dst)
@@ -363,6 +397,19 @@ class ProcMeshTransport(Transport):
     full fault plan into its local :class:`FaultController`, and only the
     ``(src, dst == local)`` decisions ever fire, so drop/delay counts sum
     across workers to exactly the single-process totals.
+
+    Self-healing (the crash-recovery layer): every non-self frame carries
+    an 8-byte per-link sequence number; the receiver keeps a per-source
+    watermark and silently drops redelivered duplicates.  A send that
+    hits a dead peer parks the framed bytes on a per-destination retry
+    queue drained by a backoff task (bounded exponential, seeded jitter),
+    so a SIGKILLed-and-respawned worker's links heal without losing the
+    frames that failed at the socket.  The hello carries the dialer's
+    *incarnation*: a reborn peer restarts its sequence numbers, and the
+    higher incarnation tells the receiver to reset that source's
+    watermark instead of discarding the fresh traffic as duplicates.
+    Sequence 0 frames are heartbeats -- uncounted, undelivered, feeding
+    the suspect/alive failure detector.
     """
 
     def __init__(
@@ -372,19 +419,38 @@ class ProcMeshTransport(Transport):
         faults: Optional[FaultController] = None,
         record: Optional[Recorder] = None,
         host: str = "127.0.0.1",
+        incarnation: int = 0,
     ) -> None:
         super().__init__(registry, faults=faults, record=record)
         self.host = host
         self.local_pid: Optional[int] = None
         self.port: Optional[int] = None
+        #: bumped by the parent on every respawn of this node
+        self.incarnation = incarnation
         #: cumulative frames shipped to / accepted from the mesh (self-sends
-        #: count on both sides) -- the parent's conservation check
+        #: count on both sides) -- the parent's conservation check.  Retry
+        #: resends and dropped duplicates deliberately do not count.
         self.frames_sent = 0
         self.frames_received = 0
+        self.duplicates_dropped = 0
+        self.reconnects = 0
+        #: optional persistence hook ``(src, seq)`` for receive watermarks
+        #: (a recoverable party's WAL); sampled every ``_WATERMARK_EVERY``
+        self.watermark_sink: Optional[Callable[[int, int], None]] = None
+        self.heartbeat: Optional[HeartbeatMonitor] = None
         self._peers: dict[int, tuple[str, int]] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: dict[int, asyncio.StreamWriter] = {}
         self._reader_tasks: set[asyncio.Task] = set()
+        #: per-destination outbound sequence counters (start at 1; 0 = heartbeat)
+        self._send_seq: dict[int, int] = {}
+        #: per-source receive watermarks (highest seq delivered)
+        self._watermarks: dict[int, int] = {}
+        self._peer_incarnations: dict[int, int] = {}
+        #: per-destination framed bytes awaiting a live connection
+        self._retry: dict[int, deque] = {}
+        self._retry_tasks: dict[int, asyncio.Task] = {}
+        self._heartbeat_task: Optional[asyncio.Task] = None
 
     async def listen(self) -> int:
         """Bind the kernel-assigned port and return it (before peers)."""
@@ -397,11 +463,96 @@ class ProcMeshTransport(Transport):
         self.local_pid = local_pid
         self._peers = {int(pid): (host, int(port)) for pid, (host, port) in peers.items()}
 
+    def reconfigure(self, peers: dict[int, tuple[str, int]]) -> None:
+        """Adopt a refreshed peer map (a respawned worker has a new
+        kernel-assigned port).  Stale writers are dropped so the next
+        send -- or the retry task already backing off -- re-dials the
+        reborn peer; parked retry frames survive and flush there."""
+        for pid, (host, port) in (
+            {int(p): (h, int(pt)) for p, (h, pt) in peers.items()}
+        ).items():
+            if self._peers.get(pid) != (host, port):
+                self._peers[pid] = (host, port)
+                writer = self._writers.pop(pid, None)
+                if writer is not None:
+                    writer.close()
+
+    def restore_watermarks(self, watermarks: dict[int, int]) -> None:
+        """Seed receive watermarks from a replayed WAL (restart path).
+
+        The floor may lag reality by up to ``_WATERMARK_EVERY`` frames;
+        the protocol layer's idempotent handlers absorb the resulting
+        duplicates, so an approximate floor is sufficient."""
+        for src, seq in watermarks.items():
+            self._watermarks[int(src)] = max(
+                self._watermarks.get(int(src), 0), int(seq)
+            )
+
+    def enable_heartbeat(
+        self,
+        *,
+        interval: float = 0.2,
+        suspect_after: int = 3,
+        on_suspect: Optional[Callable[[int], None]] = None,
+        on_alive: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Start heartbeat emission and suspect/alive detection (after
+        :meth:`configure`; heartbeats ride existing connections only)."""
+        self.heartbeat = HeartbeatMonitor(
+            (pid for pid in self._peers if pid != self.local_pid),
+            interval=interval,
+            suspect_after=suspect_after,
+            on_suspect=on_suspect,
+            on_alive=on_alive,
+        )
+        loop = asyncio.get_running_loop()
+        # grace period: every peer starts "just seen" so the detector
+        # measures silence from now, not from the monotonic-clock epoch
+        now = loop.time()
+        for pid in self._peers:
+            if pid != self.local_pid:
+                self.heartbeat.observe(pid, now)
+        self._heartbeat_task = asyncio.ensure_future(self._heartbeat_loop(loop))
+
+    async def _heartbeat_loop(self, loop: asyncio.AbstractEventLoop) -> None:
+        assert self.heartbeat is not None
+        beat = _SEQ.pack(0) + _LEN_ZERO
+        while True:
+            await asyncio.sleep(self.heartbeat.interval)
+            now = loop.time()
+            self.heartbeat.check(now)
+            for dst, writer in list(self._writers.items()):
+                if writer.is_closing():
+                    continue
+                try:
+                    writer.write(beat)
+                except (ConnectionError, OSError):  # pragma: no cover
+                    pass
+
     async def start(self) -> None:
         if self._server is None:
             await self.listen()
 
     async def stop(self) -> None:
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._heartbeat_task = None
+        for task in list(self._retry_tasks.values()):
+            task.cancel()
+        if self._retry_tasks:
+            await asyncio.gather(
+                *self._retry_tasks.values(), return_exceptions=True
+            )
+        self._retry_tasks.clear()
+        for backlog in self._retry.values():
+            # frames die with the transport; close their in-flight slots
+            for _ in backlog:
+                self._resolve()
+            backlog.clear()
         for writer in self._writers.values():
             writer.close()
         for writer in list(self._writers.values()):
@@ -435,24 +586,76 @@ class ProcMeshTransport(Transport):
         if dst not in self._peers:
             raise KeyError(f"unknown destination {dst}")
         framed = self._encode_frame_and_record(message)
+        seq = self._send_seq.get(dst, 0) + 1
+        self._send_seq[dst] = seq
+        framed = _SEQ.pack(seq) + framed
         self.frames_sent += 1
+        backlog = self._retry.get(dst)
+        if backlog:
+            # keep per-link FIFO: never overtake frames already parked
+            backlog.append(framed)
+            self._ensure_retry_task(dst)
+            return len(framed) - _SEQ.size - 4
         try:
             writer = await self._writer_for(dst)
             writer.write(framed)
             await writer.drain()
-        finally:
-            # Drained to the kernel: the receiving worker's in_flight takes
-            # over the moment the frame arrives, so resolve locally even if
-            # the drain failed (the frame's fate is no longer observable).
-            self._resolve()
-        return len(framed) - 4
+        except (ConnectionError, OSError):
+            # Peer is down (crashed, restarting, or mid-respawn): park the
+            # frame for the backoff task instead of failing the node.  The
+            # in-flight slot stays open, so the worker does not look idle
+            # while frames await redelivery.
+            self._writers.pop(dst, None)
+            self._retry.setdefault(dst, deque()).append(framed)
+            self._ensure_retry_task(dst)
+            return len(framed) - _SEQ.size - 4
+        # Drained to the kernel: the receiving worker's in_flight takes
+        # over the moment the frame arrives, so resolve locally (the
+        # frame's fate is no longer observable here).
+        self._resolve()
+        return len(framed) - _SEQ.size - 4
+
+    def _ensure_retry_task(self, dst: int) -> None:
+        task = self._retry_tasks.get(dst)
+        if task is None or task.done():
+            self._retry_tasks[dst] = asyncio.ensure_future(self._retry_loop(dst))
+
+    async def _retry_loop(self, dst: int) -> None:
+        """Drain ``dst``'s parked frames once the link heals.
+
+        Bounded exponential backoff with jitter seeded per (node, link),
+        so a cluster-wide reconnect storm against a reborn worker is
+        spread instead of synchronized.  Runs until the backlog is empty;
+        frames flush in sequence order and the receiver's watermark
+        drops any the crashed peer already processed.
+        """
+        backoff = BackoffSchedule(
+            base=0.02, max_delay=0.5, seed=f"{self.local_pid}->{dst}"
+        )
+        while True:
+            backlog = self._retry.get(dst)
+            if not backlog:
+                return
+            await asyncio.sleep(backoff.next_delay())
+            try:
+                writer = await self._writer_for(dst)
+                while backlog:
+                    framed = backlog[0]
+                    writer.write(framed)
+                    await writer.drain()
+                    backlog.popleft()
+                    self._resolve()
+                backoff.reset()
+            except (ConnectionError, OSError):
+                self._writers.pop(dst, None)
+                self.reconnects += 1
 
     async def _writer_for(self, dst: int) -> asyncio.StreamWriter:
         writer = self._writers.get(dst)
         if writer is None or writer.is_closing():
             host, port = self._peers[dst]
             _, writer = await asyncio.open_connection(host, port)
-            writer.write(_HELLO.pack(self.local_pid))
+            writer.write(_MESH_HELLO.pack(self.local_pid, self.incarnation))
             await writer.drain()
             self._writers[dst] = writer
         return writer
@@ -467,10 +670,30 @@ class ProcMeshTransport(Transport):
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            hello = await reader.readexactly(_HELLO.size)
-            (src,) = _HELLO.unpack(hello)
+            hello = await reader.readexactly(_MESH_HELLO.size)
+            src, incarnation = _MESH_HELLO.unpack(hello)
+            if incarnation > self._peer_incarnations.get(src, 0):
+                # the peer was reborn: its sequence numbers restart, so
+                # the old watermark would wrongly discard all new traffic
+                self._peer_incarnations[src] = incarnation
+                self._watermarks[src] = 0
+            loop = asyncio.get_running_loop()
             while True:
+                seq_raw = await reader.readexactly(_SEQ.size)
+                (seq,) = _SEQ.unpack(seq_raw)
                 data = await read_frame_body(reader)
+                if self.heartbeat is not None:
+                    self.heartbeat.observe(src, loop.time())
+                if seq == 0:
+                    continue  # heartbeat: observed above, nothing to deliver
+                if seq <= self._watermarks.get(src, 0):
+                    # redelivered from a retry queue; the first copy was
+                    # already counted and dispatched
+                    self.duplicates_dropped += 1
+                    continue
+                self._watermarks[src] = seq
+                if self.watermark_sink is not None and seq % _WATERMARK_EVERY == 0:
+                    self.watermark_sink(src, seq)
                 self.frames_received += 1
                 # The sender resolved on drain; re-open the in-flight slot
                 # here so delays/drops settle through the shared _deliver.

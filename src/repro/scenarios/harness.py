@@ -96,11 +96,23 @@ class ProtocolDriver:
     #: worker that hosts exactly one party can drive its slice alone
     proc_capable = True
 
+    #: the driver's parties implement crash-restart recovery (WAL replay
+    #: plus state sync); only then may a fault plan carry ``restarts``
+    supports_restarts = False
+
     def __init__(self, spec: ScenarioSpec, committee, adversary=None) -> None:
         self.spec = spec
         self.committee = committee
         self.adversary = adversary
+        #: directory for durable per-party write-ahead logs (``None`` =
+        #: in-memory WALs; set by ``build_driver`` from ``--state-dir``)
+        self.state_dir: Optional[str] = None
         self.weights = committee.int_weights
+        if spec.faults.restarts and not self.supports_restarts:
+            raise ValueError(
+                f"protocol {spec.protocol!r} has no crash-recoverable "
+                "party; crash-restart plans need one (smr)"
+            )
         self.live_real = tuple(
             pid for pid in range(len(self.weights)) if pid not in spec.faults.crashes
         )
@@ -160,6 +172,12 @@ class ProtocolDriver:
         """Node ``nid``'s canonical decided value (digest string)."""
         raise NotImplementedError(f"{type(self).__name__} is not proc-capable")
 
+    def restart_node(self, ctx: RunContext, nid: int) -> None:
+        """Rejoin hook fired right after a crash-restarted node comes
+        back (its party has already replayed its WAL and broadcast the
+        state-sync request); drivers re-fire the node's workload here."""
+        raise NotImplementedError(f"{type(self).__name__} has no recoverable party")
+
 
 class RbcDriver(ProtocolDriver):
     """Weighted Bracha reliable broadcast; the lowest live honest party
@@ -218,12 +236,18 @@ class SmrDriver(ProtocolDriver):
     or after ``heal_at``.
     """
 
+    supports_restarts = True
+
     def __init__(self, spec: ScenarioSpec, committee, adversary=None) -> None:
         super().__init__(spec, committee, adversary)
         from ..protocols.common_coin import deterministic_coin
 
         self.quorums = committee.quorums(spec.f_w)
         self.coin = deterministic_coin(f"{spec.name}|{spec.seed}")
+        if spec.faults.restarts:
+            # recovery traffic (state sync, re-proposals) depends on
+            # timing, so message counts stop being comparable
+            self.count_comparable = False
         # Reject specs with nothing to certify: a vacuously-true done()
         # would report a successful run in which no epoch committed.
         if not self._required_epochs():
@@ -236,6 +260,17 @@ class SmrDriver(ProtocolDriver):
     def factory(self, nid: int) -> Party:
         from ..protocols.smr import SmrParty
 
+        if self.spec.faults.restarts:
+            # crash-restart plans need durable commits and rejoin logic;
+            # every party gets the recoverable subclass so sync requests
+            # are answered cluster-wide
+            from ..recovery.smr import RecoverableSmrParty
+            from ..recovery.wal import open_wal
+
+            wal = open_wal(self.state_dir, f"{self.spec.name}-party{nid}")
+            return RecoverableSmrParty(
+                nid, self.n_nodes, self.quorums, self.coin, wal=wal
+            )
         return SmrParty(nid, self.n_nodes, self.quorums, self.coin)
 
     def _required_epochs(self) -> list[int]:
@@ -271,6 +306,15 @@ class SmrDriver(ProtocolDriver):
                 ctx.party(nid).propose_batch(e, _payload(self.spec, nid, e))
 
             ctx.at(self.spec.workload.start_time(epoch), fire)
+
+    def restart_node(self, ctx: RunContext, nid: int) -> None:
+        # Re-propose every epoch's batch: receivers absorb duplicates
+        # (``_echoed`` dedups per instance) and the payloads are a pure
+        # function of the spec, so re-proposal cannot fork an instance.
+        # Needed when the crash predates the original proposal -- no live
+        # peer can supply a batch that was never broadcast.
+        for epoch in range(self.spec.workload.epochs):
+            ctx.party(nid).propose_batch(epoch, _payload(self.spec, nid, epoch))
 
     def node_done(self, ctx: RunContext, nid: int) -> bool:
         if self.adversary is None:
@@ -473,6 +517,9 @@ class ScenarioResult:
     adversary: Optional[dict] = None
     #: proc backend only: node id -> OS process id of the hosting worker
     workers: Optional[dict[str, int]] = None
+    #: crash-restart runs on proc only: per-node downtime/rejoin timings
+    #: plus summed recovery counters (WAL replays, peer sync, dedup)
+    recovery: Optional[dict] = None
 
     def record(self) -> dict:
         """JSON-able snapshot.  On the sim backend every field is a pure
@@ -509,6 +556,8 @@ class ScenarioResult:
             rec["adversary"] = self.adversary
         if self.workers is not None:
             rec["workers"] = dict(sorted(self.workers.items()))
+        if self.recovery is not None:
+            rec["recovery"] = self.recovery
         return rec
 
     def record_json(self) -> str:
@@ -552,7 +601,11 @@ def _fault_plan(
 
 
 def build_driver(
-    spec: ScenarioSpec, committee=None, *, validate: bool = True
+    spec: ScenarioSpec,
+    committee=None,
+    *,
+    validate: bool = True,
+    state_dir: Optional[str] = None,
 ) -> ProtocolDriver:
     """Construct the spec's driver (committee resolved, adversary wired).
 
@@ -570,8 +623,12 @@ def build_driver(
     driver_cls = _DRIVERS[spec.protocol]
     if validate:
         committee.validate(
+            # Restarted parties are down for a window, so the crash
+            # budget must cover crashes and restarts *together* -- the
+            # conservative check for the worst moment of the run.
             f_w=spec.f_w if driver_cls.uses_f_w else None,
-            crashes=spec.faults.crashes,
+            crashes=tuple(spec.faults.crashes)
+            + tuple(pid for pid, _, _ in spec.faults.restarts),
             partition=spec.faults.partition,
             link_delays=spec.faults.link_delays,
             payload_size=spec.workload.payload_size,
@@ -583,6 +640,7 @@ def build_driver(
 
         adversary = Adversary(spec, committee)
     driver = driver_cls(spec, committee, adversary)
+    driver.state_dir = state_dir
     if adversary is not None:
         # Corrupt at construction: every backend builds every party
         # through this factory, so the corruption is backend-agnostic.
@@ -591,7 +649,12 @@ def build_driver(
 
 
 def run_scenario(
-    spec: ScenarioSpec, *, backend: str = "sim", timeout: float = 60.0, committee=None
+    spec: ScenarioSpec,
+    *,
+    backend: str = "sim",
+    timeout: float = 60.0,
+    committee=None,
+    state_dir: Optional[str] = None,
 ) -> ScenarioResult:
     """Execute ``spec`` on ``backend`` and return the unified record.
 
@@ -623,8 +686,10 @@ def run_scenario(
     if backend == "proc":
         from ..parallel.proc import run_proc_scenario
 
-        return run_proc_scenario(spec, timeout=timeout, committee=committee)
-    driver = build_driver(spec, committee)
+        return run_proc_scenario(
+            spec, timeout=timeout, committee=committee, state_dir=state_dir
+        )
+    driver = build_driver(spec, committee, state_dir=state_dir)
     committee = driver.committee
     adversary = driver.adversary
     faults, crashed, groups, links = _fault_plan(spec, driver)
@@ -663,6 +728,24 @@ def _apply_static_faults(
         faults.delay_link(src, dst, delay)
 
 
+def _schedule_restarts(spec, driver, ctx, crash_fn, restart_fn) -> None:
+    """Arm the crash-restart plan: crash at T, rejoin at T + delta.
+
+    ``restart_fn`` un-crashes the node at the transport level *before*
+    the party's own :meth:`restart` runs, so the state-sync request it
+    broadcasts is not dropped by the fault controller.
+    """
+    for pid, crash_at, restart_at in spec.faults.restarts:
+        for nid in driver.map_pid(pid):
+
+            def rejoin(nid: int = nid) -> None:
+                restart_fn(nid)
+                driver.restart_node(ctx, nid)
+
+            ctx.at(crash_at, lambda nid=nid: crash_fn(nid))
+            ctx.at(restart_at, rejoin)
+
+
 def _run_sim(spec, driver, faults, crashed, groups, links, live_nodes, common):
     from ..sim.network import UniformDelay
     from ..sim.runner import build_world
@@ -688,6 +771,13 @@ def _run_sim(spec, driver, faults, crashed, groups, links, live_nodes, common):
     )
     if spec.faults.heal_at is not None:
         ctx.at(spec.faults.heal_at, faults.heal)
+    _schedule_restarts(
+        spec,
+        driver,
+        ctx,
+        lambda nid: (world.party(nid).crash(), faults.crash(nid)),
+        lambda nid: (faults.restart(nid), world.party(nid).restart()),
+    )
     driver.start(ctx)
     world.run()  # to quiescence: trailing messages count, as on the runtime
     m = world.metrics
@@ -731,6 +821,13 @@ def _run_runtime(
             driver.adversary.install_network_faults(faults, driver.map_pid)
         if spec.faults.heal_at is not None:
             ctx.at(spec.faults.heal_at, faults.heal)
+        _schedule_restarts(
+            spec,
+            driver,
+            ctx,
+            cluster.crash_node,
+            cluster.restart_node,
+        )
         driver.start(ctx)
 
     # A liveness-breaking strategy (e.g. an equivocating RBC sender) may

@@ -102,6 +102,25 @@ _ALL = [
         description="open-loop load over 3 committee generations with "
         "checkpoint handover and incremental re-solves",
     ),
+    ScenarioSpec(
+        name="crash-restart-smr",
+        protocol="smr",
+        weights=WeightSpec(kind="explicit", values=_STAKE),
+        faults=FaultSpec(restarts=((2, 0.2, 1.0),)),
+        workload=WorkloadSpec(payload_size=32, epochs=2),
+        description="party 2 crashes mid-run, restarts from its WAL, and "
+        "rejoins via state sync; every log still commits gap-free",
+    ),
+    ScenarioSpec(
+        name="crash-restart-mixed-smr",
+        protocol="smr",
+        weights=WeightSpec(kind="explicit", values=_STAKE),
+        faults=FaultSpec(crashes=(7,), restarts=((4, 0.1, 0.8),)),
+        workload=WorkloadSpec(payload_size=32, epochs=2),
+        description="a permanent crash plus a crash-restart under one "
+        "combined f_w budget; the restarted party recovers, the dead one "
+        "stays excluded from completion",
+    ),
     # -- adversarial scenarios (all liveness-preserving: the registry bar
     # -- is "completes with one decided value"; the liveness-breaking
     # -- strategies, e.g. an equivocating RBC sender, live in the fuzz

@@ -124,8 +124,11 @@ class FaultSpec:
     ``link_delays`` adds fixed latency to directed links for the whole
     run.  ``byzantine`` lists active adversary strategies (see
     :class:`ByzantineSpec`); corrupted parties stay live but misbehave.
-    Fault pids refer to *real* parties; drivers that expand parties
-    into virtual users translate them.
+    ``restarts`` is the crash-restart kind: ``(pid, crash_at,
+    restart_at)`` crashes ``pid`` mid-run and brings it back, at which
+    point it replays its write-ahead log and rejoins via state sync
+    (see :mod:`repro.recovery`).  Fault pids refer to *real* parties;
+    drivers that expand parties into virtual users translate them.
     """
 
     crashes: tuple[int, ...] = ()
@@ -133,6 +136,18 @@ class FaultSpec:
     heal_at: Optional[float] = None
     link_delays: tuple[tuple[int, int, float], ...] = ()
     byzantine: tuple[ByzantineSpec, ...] = ()
+    restarts: tuple[tuple[int, float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for pid, crash_at, restart_at in self.restarts:
+            if restart_at <= crash_at:
+                raise ValueError(
+                    f"restart_at must come after crash_at for pid {pid}"
+                )
+            if pid in self.crashes:
+                raise ValueError(
+                    f"pid {pid} cannot be both permanently crashed and restarted"
+                )
 
 
 @dataclass(frozen=True)
@@ -250,6 +265,13 @@ class ScenarioSpec:
                     if self.faults.byzantine
                     else {}
                 ),
+                # "restarts" likewise serialized only when non-empty, so
+                # pre-recovery specs keep their historical encoding
+                **(
+                    {"restarts": [list(r) for r in self.faults.restarts]}
+                    if self.faults.restarts
+                    else {}
+                ),
             },
             "net": {"delay_low": self.net.delay_low, "delay_high": self.net.delay_high},
             # "kind" is serialized only when non-default, so batch specs
@@ -298,6 +320,10 @@ class ScenarioSpec:
                         params=tuple((k, v) for k, v in b.get("params", ())),
                     )
                     for b in f.get("byzantine", ())
+                ),
+                restarts=tuple(
+                    (int(r[0]), float(r[1]), float(r[2]))
+                    for r in f.get("restarts", ())
                 ),
             ),
             net=NetSpec(

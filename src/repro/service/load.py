@@ -45,6 +45,10 @@ class LoadGenerator:
         self.total = requests
         self.payload_size = payload_size
         self.seed = seed
+        #: submissions bounced by backpressure (each retries until taken)
+        self.rejections = 0
+        #: requests abandoned because the service drained before acceptance
+        self.abandoned = 0
         rng = random.Random(f"load|{seed}|{rate}|{requests}")
         t = start
         times = []
@@ -61,8 +65,26 @@ class LoadGenerator:
         return (block * reps)[: self.payload_size]
 
     def install(self, service) -> None:
-        """Schedule every arrival on the service's backend clock."""
+        """Schedule every arrival on the service's backend clock.
+
+        A submission bounced by backpressure (``{"error": ...,
+        "retry_after": ...}``) is re-submitted after the advertised
+        delay -- an open-loop client that honors explicit pushback
+        instead of hammering a full queue.  A drained service's uniform
+        ``{"error": ...}`` reply (no ``retry_after``) abandons the
+        request.
+        """
+
+        def attempt(index: int) -> None:
+            outcome = service.submit(self.payload(index))
+            if not isinstance(outcome, dict):
+                return  # accepted: outcome is the request id
+            retry_after = outcome.get("retry_after")
+            if retry_after is None:
+                self.abandoned += 1
+                return
+            self.rejections += 1
+            service.backend.call_later(retry_after, lambda: attempt(index))
+
         for index, when in enumerate(self.arrival_times):
-            service.backend.call_later(
-                when, lambda i=index: service.submit(self.payload(i))
-            )
+            service.backend.call_later(when, lambda i=index: attempt(i))

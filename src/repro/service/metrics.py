@@ -72,6 +72,10 @@ class ServiceMetrics:
     committed: int = 0
     slots_cut: int = 0
     rotations: int = 0
+    #: submissions refused at the max_pending high-water mark (backpressure)
+    rejected: int = 0
+    #: pending requests dropped past their per-request deadline (shedding)
+    shed: int = 0
     #: per-request submit-to-full-commit latency (scenario seconds)
     latencies: list[float] = field(default_factory=list)
     epochs: list[EpochRecord] = field(default_factory=list)
@@ -89,6 +93,8 @@ class ServiceMetrics:
         return {
             "requests_submitted": self.submitted,
             "requests_committed": self.committed,
+            "requests_rejected": self.rejected,
+            "requests_shed": self.shed,
             "slots": self.slots_cut,
             "rotations": self.rotations,
             "epochs": [e.as_dict() for e in self.epochs],

@@ -81,6 +81,8 @@ def run_service_spec(
     requests = int(spec.param("requests", 32))
     slot_interval = float(spec.param("slot_interval", 0.05))
     slots_per_epoch = int(spec.param("slots_per_epoch", 3))
+    max_pending = int(spec.param("max_pending", 0))
+    request_deadline = float(spec.param("request_deadline", 0.0))
 
     manager = EpochManager(
         drift_schedule_for(tuple(committee.int_weights), spec.workload.epochs),
@@ -91,6 +93,8 @@ def run_service_spec(
         slot_interval=slot_interval,
         slots_per_epoch=slots_per_epoch,
         max_time=timeout,
+        max_pending=max_pending,
+        request_deadline=request_deadline,
     )
     if backend == "sim":
         svc_backend = SimServiceBackend(

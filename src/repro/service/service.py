@@ -88,6 +88,14 @@ class ServiceConfig:
     epoch_seconds: float = 0.0
     #: hard stop: unfinished runs abort with an error after this long
     max_time: float = 60.0
+    #: high-water mark on the submit queue (0 = unbounded): submissions
+    #: beyond it are rejected with an explicit retry-after instead of
+    #: growing the queue without bound under overload
+    max_pending: int = 0
+    #: per-request deadline in scenario seconds (0 = none): requests
+    #: still pending past it are shed at the next slot cut rather than
+    #: committed uselessly late
+    request_deadline: float = 0.0
 
 
 class _SlotState:
@@ -217,10 +225,28 @@ class EpochService:
             self._fail(message)
 
     # -- public API -----------------------------------------------------------------
-    def submit(self, payload: bytes) -> int:
-        """Enqueue one opaque request; returns its request id."""
+    def submit(self, payload: bytes):
+        """Enqueue one opaque request.
+
+        Returns the request id on acceptance.  A service that cannot take
+        the request answers with the uniform error shape instead (the
+        same ``{"error": ...}`` object the CLI emits on failures): after
+        the run has drained, ``{"error": ...}`` alone; under overload --
+        the pending queue at or beyond ``config.max_pending`` -- the
+        object adds ``retry_after`` (seconds) and the current queue
+        depth, and the rejection is counted in ``metrics.rejected``.
+        Explicit backpressure instead of an unbounded queue.
+        """
         if self.finished:
-            return -1
+            return {"error": "service has drained; request not accepted"}
+        limit = self.config.max_pending
+        if limit > 0 and len(self.pending) >= limit:
+            self.metrics.rejected += 1
+            return {
+                "error": "submit queue full",
+                "retry_after": self.config.slot_interval,
+                "pending": len(self.pending),
+            }
         rid = self._next_request_id
         self._next_request_id += 1
         self._submit_time[rid] = self.backend.now()
@@ -281,6 +307,10 @@ class EpochService:
             self.backend.call_later(self.config.slot_interval, self._tick)
 
     def _cut_slot(self, now: float) -> None:
+        if self.config.request_deadline > 0:
+            self._shed_expired(now)
+            if not self.pending:
+                return
         take = min(len(self.pending), self.config.max_batch)
         assigned: list[list[tuple[int, bytes]]] = [[] for _ in range(self.n)]
         for j in range(take):
@@ -301,6 +331,22 @@ class EpochService:
             and self._more_work_expected()
         ):
             self.trigger_rotation()
+
+    def _shed_expired(self, now: float) -> None:
+        """Overload shedding: drop pending requests older than the
+        per-request deadline instead of committing them uselessly late
+        (their clients have already timed out)."""
+        deadline = self.config.request_deadline
+        kept: deque[tuple[int, bytes]] = deque()
+        while self.pending:
+            rid, payload = self.pending.popleft()
+            submitted_at = self._submit_time.get(rid, now)
+            if now - submitted_at > deadline:
+                self._submit_time.pop(rid, None)
+                self.metrics.shed += 1
+            else:
+                kept.append((rid, payload))
+        self.pending = kept
 
     def _more_work_expected(self) -> bool:
         if self.expected_requests is None:

@@ -61,6 +61,16 @@ class Party:
         """Stop reacting to any further message (crash fault)."""
         self.crashed = True
 
+    def restart(self) -> None:
+        """Resume reacting to messages (crash-restart fault).
+
+        The base party carries no volatile protocol state to rebuild;
+        recoverable subclasses override this to replay their write-ahead
+        log and resynchronize from live peers before rejoining.
+        """
+        self.crashed = False
+        self.bump("restarts")
+
     def bump(self, counter: str, amount: int = 1) -> None:
         """Increment a named computation counter."""
         self.counters[counter] += amount

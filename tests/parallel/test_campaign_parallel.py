@@ -66,3 +66,75 @@ class TestSweepDeterminism:
     def test_sweep_identical_across_jobs(self):
         specs = [get_scenario("uniform-rbc"), get_scenario("crash-f-rbc")]
         assert run_specs(specs, jobs=1) == run_specs(specs, jobs=2)
+
+
+class TestAnalysisSweepDeterminism:
+    """The Section 7 analysis sweeps under ``jobs``: per-point seeded
+    streams (``f"{seed}|nfrac|{index}"``), so fan-out cannot reorder or
+    perturb the bootstrap draws."""
+
+    WEIGHTS = (900, 500, 300, 180, 120, 80, 50, 30, 20, 10, 5, 5, 3, 1)
+
+    def test_grid_sweep_order_and_values_at_jobs_1(self):
+        from fractions import Fraction
+
+        from repro.analysis.sweep import alpha_grid_sweep
+
+        points = alpha_grid_sweep(
+            self.WEIGHTS,
+            alpha_ns=[Fraction(1, 3), Fraction(1, 2)],
+            ratios=[Fraction(1, 2), Fraction(3, 4)],
+        )
+        assert [(p.alpha_n, p.ratio) for p in points] == [
+            (Fraction(1, 3), Fraction(1, 2)),
+            (Fraction(1, 3), Fraction(3, 4)),
+            (Fraction(1, 2), Fraction(1, 2)),
+            (Fraction(1, 2), Fraction(3, 4)),
+        ]
+        assert all(p.metrics.total_tickets >= 1 for p in points)
+
+    def test_nfrac_points_are_independent_of_sweep_composition(self):
+        """Dropping a point from the nfrac list must not change the
+        others' draws -- the property the per-index RNG keying buys."""
+        from fractions import Fraction
+
+        from repro.analysis.sweep import nfrac_sweep
+
+        full = nfrac_sweep(
+            self.WEIGHTS,
+            Fraction(1, 3),
+            Fraction(1, 2),
+            nfracs=(0.25, 0.5, 1.0),
+            trials=4,
+            seed=3,
+        )
+        # Same indices 0 and 1: identical points even without index 2.
+        prefix = nfrac_sweep(
+            self.WEIGHTS,
+            Fraction(1, 3),
+            Fraction(1, 2),
+            nfracs=(0.25, 0.5),
+            trials=4,
+            seed=3,
+        )
+        assert full[:2] == prefix
+
+    @pytest.mark.proc
+    def test_analysis_sweeps_identical_across_jobs(self):
+        from fractions import Fraction
+
+        from repro.analysis.sweep import alpha_grid_sweep, nfrac_sweep
+
+        grid_args = dict(
+            alpha_ns=[Fraction(k, 10) for k in range(1, 10)],
+            ratios=[Fraction(k, 10) for k in range(1, 10)],
+        )
+        assert alpha_grid_sweep(self.WEIGHTS, **grid_args) == alpha_grid_sweep(
+            self.WEIGHTS, jobs=3, **grid_args
+        )
+        scale_args = dict(nfracs=(0.2, 0.5, 1.0), trials=5, seed=11)
+        assert nfrac_sweep(
+            self.WEIGHTS, Fraction(1, 4), Fraction(1, 3), **scale_args
+        ) == nfrac_sweep(
+            self.WEIGHTS, Fraction(1, 4), Fraction(1, 3), jobs=4, **scale_args
+        )

@@ -19,6 +19,7 @@ from repro.protocols.ec_broadcast import EcFragment, EcRequest
 from repro.protocols.reliable_broadcast import RbcEcho, RbcReady, RbcSend
 from repro.protocols.smr import BatchEcho, BatchReady, BatchSend
 from repro.protocols.vaba import Commit, Decide, Proposal, Vote, Vouch
+from repro.recovery.smr import StateSyncRequest, StateSyncResponse
 from repro.runtime.codec import CodecError, CodecRegistry, FrameAssembler, default_registry
 
 _PROOF = DleqProof(challenge=2**255 - 19, response=123456789)
@@ -57,6 +58,12 @@ SAMPLES = [
     Commit(value=b"c"),
     Decide(value=b"d"),
     Vouch(value=b"w"),
+    StateSyncRequest(requester=4),
+    StateSyncResponse(
+        responder=2,
+        entries=((0, 1, b"payload-0"), (1, 3, b"payload-1")),
+        certificates=((1, b"\x0e" * 32, b"cert-bytes"),),
+    ),
 ]
 
 

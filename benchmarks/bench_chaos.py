@@ -1,0 +1,301 @@
+"""Benchmark C -- the chaos engine: weather overhead, staged timelines,
+and the watchdog's stall-to-postmortem path.
+
+Three rows:
+
+* **weather-overhead** (the gated row): the ``weather-storm-smr``
+  registry scenario against the identical spec with chaos stripped,
+  both on the simulator.  The ratio of stormy to fault-free virtual
+  completion time is deterministic and machine-independent; it is
+  gated on an absolute ceiling so ambient duplication + reordering can
+  never silently regress SMR into the retransmission regime.  Also
+  gated on correctness: both runs complete, decide identically, and
+  the stormy log commits no duplicates;
+* **chaos-timeline** (gated on correctness, never on timing): the
+  ``partition-heal-corrupt-smr`` staged timeline run twice -- the
+  record must be byte-deterministic, complete, and fire every stage;
+* **watchdog-postmortem** (recorded + correctness): an unhealed
+  sub-quorum partition must end in a classified watchdog postmortem
+  rather than a timeout, and the wall time of that verdict is recorded.
+
+``--check`` additionally fails when the weather overhead ratio blows
+past the committed ``BENCH_10.json`` baseline by more than the slack
+factor (floored at 1.5x so a lucky baseline cannot fail a normal run).
+
+Run:    PYTHONPATH=src python benchmarks/bench_chaos.py [--full]
+                [--out BENCH_10.json] [--check BASELINE.json]
+or:     PYTHONPATH=src python -m pytest benchmarks/bench_chaos.py -q -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.report import write_csv_rows, write_json
+from repro.chaos.schedule import ChaosSpec, ChaosStage, TriggerSpec
+from repro.scenarios import get_scenario, run_scenario
+from repro.scenarios.spec import ScenarioSpec, WeightSpec, WorkloadSpec
+
+#: absolute ceiling on stormy/fault-free sim-time ratio: ambient
+#: duplication and reordering cost delivery work, but anything past this
+#: means the storm pushed SMR into a retransmission/timeout regime
+WEATHER_OVERHEAD_CEILING = 3.0
+
+#: --check slack: fail at baseline * SLACK (but never below 1.5x)
+BASELINE_SLACK = 1.5
+
+
+def bench_weather_overhead() -> dict:
+    """Stormy vs fault-free SMR on the sim: the gated overhead ratio."""
+    spec = get_scenario("weather-storm-smr")
+    clean_spec = dataclasses.replace(spec, chaos=None)
+    start = time.perf_counter()
+    stormy = run_scenario(spec, backend="sim")
+    elapsed = time.perf_counter() - start
+    clean = run_scenario(clean_spec, backend="sim")
+    record = stormy.record()
+    counters = (record.get("chaos") or {}).get("weather", {}).get("counters", {})
+    ratio = stormy.sim_time / max(clean.sim_time, 1e-12)
+    return {
+        "workload": "weather-overhead",
+        "scenario": spec.name,
+        "completed": stormy.completed and clean.completed,
+        "decides_identically": stormy.decided == clean.decided,
+        "duplicate_commits": (record.get("chaos") or {}).get(
+            "duplicate_commits", 0
+        ),
+        "duplicated": counters.get("duplicated", 0),
+        "reordered": counters.get("reordered", 0),
+        "sim_time_stormy": stormy.sim_time,
+        "sim_time_fault_free": clean.sim_time,
+        "overhead_ratio": round(ratio, 4),
+        "ceiling": WEATHER_OVERHEAD_CEILING,
+        "wall_s": round(elapsed, 6),
+    }
+
+
+def bench_chaos_timeline() -> dict:
+    """The staged partition-heal-corrupt timeline: deterministic, complete."""
+    spec = get_scenario("partition-heal-corrupt-smr")
+    start = time.perf_counter()
+    first = run_scenario(spec, backend="sim")
+    elapsed = time.perf_counter() - start
+    again = run_scenario(spec, backend="sim")
+    record = first.record()
+    stages = (record.get("chaos") or {}).get("stages", [])
+    return {
+        "workload": "chaos-timeline",
+        "scenario": spec.name,
+        "completed": first.completed,
+        "deterministic": first.record_json() == again.record_json(),
+        "stages_fired": sum(1 for s in stages if s["fired"]),
+        "stages_total": len(stages),
+        "dropped_messages": record["dropped_messages"],
+        "sim_time": first.sim_time,
+        "wall_s": round(elapsed, 6),
+    }
+
+
+def bench_watchdog_postmortem() -> dict:
+    """An unhealed stall must yield a classified postmortem, not a timeout."""
+    spec = ScenarioSpec(
+        name="bench-stall-probe",
+        protocol="smr",
+        weights=WeightSpec(kind="explicit", values=(30, 25, 20, 10, 5, 5, 3, 2)),
+        workload=WorkloadSpec(payload_size=32, epochs=1),
+        chaos=ChaosSpec(
+            stages=(
+                ChaosStage(
+                    action="partition",
+                    trigger=TriggerSpec(kind="time", value=0.0),
+                    params=(("groups", ((0, 1, 2, 3), (4, 5, 6, 7))),),
+                ),
+            ),
+        ),
+    )
+    start = time.perf_counter()
+    record = run_scenario(spec, backend="sim", timeout=30).record()
+    elapsed = time.perf_counter() - start
+    watchdog = (record.get("chaos") or {}).get("watchdog", {})
+    return {
+        "workload": "watchdog-postmortem",
+        "stalled": watchdog.get("stalled", False),
+        "classification": watchdog.get("classification"),
+        "postmortem_present": "postmortem" in watchdog,
+        "verdict_s": round(elapsed, 6),
+        "gated": True,
+    }
+
+
+def run_bench(*, full: bool) -> dict:
+    return {
+        "bench": "chaos",
+        "pr": 10,
+        "mode": "full" if full else "quick",
+        "weather": bench_weather_overhead(),
+        "timeline": bench_chaos_timeline(),
+        "watchdog": bench_watchdog_postmortem(),
+    }
+
+
+def gate_failures(record: dict) -> list[str]:
+    """Correctness gates plus the absolute weather-overhead ceiling."""
+    failures = []
+    weather = record["weather"]
+    if not weather["completed"]:
+        failures.append("weather: stormy or fault-free run did not complete")
+    if not weather["decides_identically"]:
+        failures.append("weather: stormy run decided differently")
+    if weather["duplicate_commits"] != 0:
+        failures.append(
+            f"weather: {weather['duplicate_commits']} duplicate commit(s)"
+        )
+    if weather["duplicated"] < 1:
+        failures.append("weather: the storm never duplicated a message")
+    if weather["overhead_ratio"] > WEATHER_OVERHEAD_CEILING:
+        failures.append(
+            f"weather: overhead {weather['overhead_ratio']:.2f}x "
+            f"> {WEATHER_OVERHEAD_CEILING:.1f}x ceiling"
+        )
+    timeline = record["timeline"]
+    if not timeline["completed"]:
+        failures.append("timeline: partition-heal-corrupt did not complete")
+    if not timeline["deterministic"]:
+        failures.append("timeline: chaos record is not byte-deterministic")
+    if timeline["stages_fired"] != timeline["stages_total"]:
+        failures.append(
+            f"timeline: only {timeline['stages_fired']}/"
+            f"{timeline['stages_total']} stages fired"
+        )
+    watchdog = record["watchdog"]
+    if not watchdog["stalled"] or not watchdog["postmortem_present"]:
+        failures.append("watchdog: stall did not yield a postmortem")
+    if watchdog["classification"] != "expected-no-liveness":
+        failures.append(
+            f"watchdog: misclassified stall as {watchdog['classification']!r}"
+        )
+    return failures
+
+
+def check_against_baseline(record: dict, baseline_path: Path) -> list[str]:
+    """Baseline-relative overhead regression, with generous slack."""
+    baseline = json.loads(baseline_path.read_text())
+    failures = gate_failures(record)
+    base_ratio = baseline.get("weather", {}).get("overhead_ratio")
+    if base_ratio:
+        ceiling = max(1.5, base_ratio * BASELINE_SLACK)
+        if record["weather"]["overhead_ratio"] > ceiling:
+            failures.append(
+                f"weather.overhead_ratio: {record['weather']['overhead_ratio']:.2f}x"
+                f" > {ceiling:.2f}x (baseline {base_ratio:.2f}x"
+                f" * {BASELINE_SLACK})"
+            )
+    return failures
+
+
+def write_artifacts(record: dict, out_path: Path) -> None:
+    out_path.write_text(json.dumps(record, sort_keys=True, indent=2) + "\n")
+    write_json("bench_chaos.json", record)
+    write_csv_rows(
+        "bench_chaos.csv",
+        ["workload", "completed", "overhead_ratio", "wall_s"],
+        [
+            [
+                record["weather"]["workload"], record["weather"]["completed"],
+                record["weather"]["overhead_ratio"],
+                record["weather"]["wall_s"],
+            ],
+            [
+                record["timeline"]["workload"],
+                record["timeline"]["completed"], "",
+                record["timeline"]["wall_s"],
+            ],
+            [
+                record["watchdog"]["workload"],
+                record["watchdog"]["stalled"], "",
+                record["watchdog"]["verdict_s"],
+            ],
+        ],
+    )
+
+
+def _print_table(record: dict) -> None:
+    weather, timeline, dog = (
+        record["weather"], record["timeline"], record["watchdog"],
+    )
+    print(f"\nchaos benchmark ({record['mode']} mode)")
+    print(
+        f"{'weather-overhead':>18}: {weather['overhead_ratio']:.2f}x "
+        f"(ceiling {weather['ceiling']:.1f}x) dup={weather['duplicated']} "
+        f"reorder={weather['reordered']} "
+        f"identical-decisions={weather['decides_identically']}"
+    )
+    print(
+        f"{'chaos-timeline':>18}: completed={timeline['completed']} "
+        f"deterministic={timeline['deterministic']} stages="
+        f"{timeline['stages_fired']}/{timeline['stages_total']} "
+        f"dropped={timeline['dropped_messages']}"
+    )
+    print(
+        f"{'watchdog':>18}: stalled={dog['stalled']} "
+        f"classified={dog['classification']} verdict in {dog['verdict_s']:.3f}s"
+    )
+
+
+# -- pytest entry ----------------------------------------------------------------------
+
+import pytest
+
+
+def test_chaos_bench(tmp_path):
+    """Quick-mode run: correctness gates plus the overhead ceiling.
+
+    Writes only under tmp_path: the committed ``BENCH_10.json`` baseline
+    is authored only by the explicit CLI ``--out`` path.
+    """
+    full = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+    record = run_bench(full=full)
+    _print_table(record)
+    (tmp_path / "bench_chaos.json").write_text(
+        json.dumps(record, sort_keys=True, indent=2) + "\n"
+    )
+    failures = gate_failures(record)
+    assert not failures, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full", action="store_true", help="acceptance-bar sizes")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_10.json"))
+    parser.add_argument(
+        "--check", type=Path, default=None, metavar="BASELINE",
+        help="fail when weather overhead regresses vs this baseline",
+    )
+    args = parser.parse_args(argv)
+    record = run_bench(
+        full=args.full or os.environ.get("REPRO_BENCH_FULL", "") == "1"
+    )
+    _print_table(record)
+    write_artifacts(record, args.out)
+    print(f"\nwrote {args.out}")
+    failures = (
+        check_against_baseline(record, args.check)
+        if args.check is not None
+        else gate_failures(record)
+    )
+    if failures:
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"perf gate ok{f' vs {args.check}' if args.check else ''}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -69,6 +69,7 @@ class FuzzConfig:
     strategies: tuple[Optional[str], ...] = DEFAULT_STRATEGIES
     include_probes: bool = True
     include_service: bool = True
+    include_chaos: bool = True
     timeout: float = 30.0
 
 
@@ -267,6 +268,70 @@ def _sample_service(config: FuzzConfig, index: int, rng: random.Random) -> dict:
     }
 
 
+def _sample_chaos(config: FuzzConfig, index: int, rng: random.Random) -> dict:
+    """A staged chaos timeline over SMR: partition at t=0, heal, and a
+    second epoch scheduled strictly after the heal, optionally with a
+    staged corruption and ambient weather (duplication/reordering/jitter
+    only -- loss would void the liveness claim the invariants check)."""
+    from ..chaos.schedule import ChaosSpec, ChaosStage, TriggerSpec
+    from ..chaos.weather import WeatherSpec
+
+    weights = _sample_weights(rng)
+    spec_seed = rng.getrandbits(32)
+    n = weights.n or len(weights.values)
+    pids = list(range(n))
+    rng.shuffle(pids)
+    cut = rng.randint(1, n - 1)
+    groups = (tuple(sorted(pids[:cut])), tuple(sorted(pids[cut:])))
+    heal_at = round(rng.uniform(0.25, 0.4), 3)
+    epoch1_at = round(heal_at + rng.uniform(0.1, 0.2), 3)
+    stages = [
+        ChaosStage(
+            action="partition",
+            trigger=TriggerSpec(kind="time", value=0.0),
+            params=(("groups", groups),),
+        ),
+        ChaosStage(action="heal", trigger=TriggerSpec(kind="time", value=heal_at)),
+    ]
+    strategy = None
+    if rng.random() < 0.4:
+        strategy = "adaptive-corrupt"
+        stages.append(
+            ChaosStage(
+                action="byzantine",
+                trigger=TriggerSpec(
+                    kind="time", value=round(heal_at + 0.05, 3)
+                ),
+                params=(("strategy", strategy),),
+            )
+        )
+    weather = None
+    if rng.random() < 0.5:
+        weather = WeatherSpec(
+            duplicate=round(rng.uniform(0.05, 0.2), 3),
+            reorder=round(rng.uniform(0.1, 0.3), 3),
+            jitter=0.02,
+        )
+    spec = ScenarioSpec(
+        name=f"fuzz-{index}",
+        protocol="smr",
+        weights=weights,
+        workload=WorkloadSpec(
+            payload_size=rng.choice((16, 32)),
+            epochs=2,
+            epoch_times=(0.0, epoch1_at),
+        ),
+        seed=spec_seed,
+        chaos=ChaosSpec(stages=tuple(stages), weather=weather),
+    )
+    return {
+        "kind": "chaos",
+        "backend": config.backend,
+        "strategy": strategy,
+        "scenario": spec.to_dict(),
+    }
+
+
 def build_episode(config: FuzzConfig, index: int) -> dict:
     """The fully resolved episode ``index`` of a campaign: a replay spec
     minus the outcome.  Pure function of ``(config, index)``."""
@@ -277,6 +342,8 @@ def build_episode(config: FuzzConfig, index: int) -> dict:
         episode = {"kind": kind, "probe_seed": rng.getrandbits(32)}
     elif config.include_service and roll < 0.35 and config.backend == "sim":
         episode = _sample_service(config, index, rng)
+    elif config.include_chaos and roll < 0.45:
+        episode = _sample_chaos(config, index, rng)
     else:
         episode = _sample_scenario(config, index, rng)
     return {"seed": config.seed, "episode": index, **episode}

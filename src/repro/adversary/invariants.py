@@ -129,4 +129,40 @@ def check_record(spec, record: dict) -> list[str]:
 
     if record.get("service") is not None:
         violations.extend(_check_service(record))
+    if record.get("chaos") is not None:
+        violations.extend(_check_chaos(spec, record))
+    return violations
+
+
+def _check_chaos(spec, record: dict) -> list[str]:
+    """Chaos-plan invariants over the record's ``chaos`` section.
+
+    * **delivery idempotence** -- duplicated/reordered delivery must
+      never commit the same proposer twice in one epoch's log.
+    * **progress after heal** -- on the sim backend a completed run whose
+      partitions all healed must have converged within a bounded virtual
+      time after the last heal (a run that limps to completion through
+      retries long after the heal is a liveness regression).
+    """
+    violations: list[str] = []
+    chaos = record["chaos"]
+    duplicates = chaos.get("duplicate_commits", 0)
+    if duplicates:
+        violations.append(
+            f"idempotence: {duplicates} duplicate commit(s) in ordered "
+            "logs under duplication/reordering"
+        )
+    heal = spec.chaos.heal_time() if spec.chaos is not None else None
+    if (
+        record.get("backend") == "sim"
+        and record.get("completed")
+        and heal is not None
+    ):
+        bound = heal + 5.0
+        sim_time = record.get("sim_time", 0.0)
+        if sim_time > bound:
+            violations.append(
+                f"progress: healed run converged at t={sim_time:.3f}, "
+                f"past the bound {bound:.3f} (heal at {heal:.3f})"
+            )
     return violations

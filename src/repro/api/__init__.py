@@ -106,6 +106,22 @@ _RECOVERY_EXPORTS = (
     "open_wal",
 )
 
+#: chaos-engine names re-exported from :mod:`repro.chaos`, lazily because
+#: the orchestrator half imports the adversary and harness layers (the
+#: spec-level half would be safe, but one rule for the whole package is
+#: simpler to audit).
+_CHAOS_EXPORTS = (
+    "ChaosOrchestrator",
+    "ChaosSpec",
+    "ChaosStage",
+    "LivenessWatchdog",
+    "NetworkWeather",
+    "StagedAdversary",
+    "TriggerSpec",
+    "WeatherSpec",
+    "register_stage_action",
+)
+
 __all__ = [
     "Committee",
     "CommitteeValidationError",
@@ -129,6 +145,7 @@ __all__ = [
     *_ADVERSARY_EXPORTS,
     *_PARALLEL_EXPORTS,
     *_RECOVERY_EXPORTS,
+    *_CHAOS_EXPORTS,
 ]
 
 
@@ -149,4 +166,8 @@ def __getattr__(name: str):
         from .. import recovery
 
         return getattr(recovery, name)
+    if name in _CHAOS_EXPORTS:
+        from .. import chaos
+
+        return getattr(chaos, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

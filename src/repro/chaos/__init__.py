@@ -1,0 +1,49 @@
+"""Chaos orchestration: staged fault timelines, network weather, and a
+liveness watchdog.
+
+The data layer (:mod:`~repro.chaos.weather`, :mod:`~repro.chaos.schedule`)
+imports eagerly -- :mod:`repro.scenarios.spec` embeds it.  The executable
+layer (:mod:`~repro.chaos.orchestrator`, :mod:`~repro.chaos.watchdog`)
+loads lazily via PEP 562: the orchestrator reaches into the adversary and
+harness packages, which themselves import the spec (and hence this
+package), so eager imports here would cycle.
+"""
+
+from .schedule import ChaosSpec, ChaosStage, TriggerSpec
+from .weather import NetworkWeather, WeatherDecision, WeatherSpec
+
+__all__ = [
+    "ChaosSpec",
+    "ChaosStage",
+    "TriggerSpec",
+    "WeatherSpec",
+    "WeatherDecision",
+    "NetworkWeather",
+    "ChaosOrchestrator",
+    "StagedAdversary",
+    "LivenessWatchdog",
+    "STAGE_ACTIONS",
+    "register_stage_action",
+    "count_duplicate_commits",
+]
+
+_ORCHESTRATOR_EXPORTS = (
+    "ChaosOrchestrator",
+    "StagedAdversary",
+    "STAGE_ACTIONS",
+    "register_stage_action",
+    "count_duplicate_commits",
+)
+_WATCHDOG_EXPORTS = ("LivenessWatchdog",)
+
+
+def __getattr__(name: str):
+    if name in _ORCHESTRATOR_EXPORTS:
+        from . import orchestrator
+
+        return getattr(orchestrator, name)
+    if name in _WATCHDOG_EXPORTS:
+        from . import watchdog
+
+        return getattr(watchdog, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,133 @@
+"""Liveness watchdog: turn a silent stall into a structured postmortem.
+
+A run under chaos can legitimately never complete (an unhealed partition
+below the deliver quorum, weather that loses messages, an equivocating
+sender) -- that is *expected no-liveness*, and the interesting question
+is only what state the cluster froze in.  A run that was expected to
+complete but went quiescent without doing so is a *genuine stall* -- a
+bug in the protocol or the harness.  The watchdog distinguishes the two
+via the adversary/chaos liveness claim and, either way, assembles a
+postmortem bundle (per-link last-N message trace, queue depths, fault
+and weather counters, the chaos timeline with fired flags) that rides on
+the scenario record instead of a bare ``TimeoutError``.
+
+On the sim backend quiescence is exact (the event queue drained), so the
+watchdog is a post-hoc classifier.  On the live runtimes it is a polled
+stop condition: once the chaos plan has nothing left to fire, sustained
+message-flow quiescence without completion for ``stall_after`` wall
+seconds stops the run early -- a postmortem in ~1 s instead of a burned
+timeout.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["LivenessWatchdog"]
+
+
+class LivenessWatchdog:
+    """One run's liveness monitor (see module docstring)."""
+
+    def __init__(
+        self,
+        chaos,
+        *,
+        expect_liveness: bool = True,
+        horizon: float = 0.0,
+    ) -> None:
+        self.chaos = chaos
+        self.stall_after = chaos.stall_after
+        self.expect_liveness = expect_liveness
+        #: scenario time after which nothing is scheduled to fire anymore
+        #: (latest chaos stage, heal, epoch start, restart); a stall is
+        #: only declarable past it
+        self.horizon = max(horizon, chaos.latest_time())
+        self.stalled = False
+        self._started_at: Optional[float] = None
+        self._quiet_since: Optional[float] = None
+        self._last_messages = -1
+
+    # -- runtime polling ------------------------------------------------------------
+    def stop_condition(self, done: Callable[[], bool]) -> Callable:
+        """A ``stop_when(cluster)`` predicate: done, or stalled.
+
+        Progress means new sends (``metrics.messages`` advancing) or
+        non-quiescent transports/nodes; ``stall_after`` seconds without
+        any -- after the horizon -- declares the stall and stops the run.
+        """
+
+        def check(cluster) -> bool:
+            if done():
+                return True
+            now = time.perf_counter()
+            if self._started_at is None:
+                self._started_at = now
+            if now - self._started_at < self.horizon:
+                self._quiet_since = None
+                return False
+            messages = cluster.metrics.messages
+            quiescent = cluster.transport.quiescent and all(
+                node.idle for node in cluster.nodes
+            )
+            if quiescent and messages == self._last_messages:
+                if self._quiet_since is None:
+                    self._quiet_since = now
+                elif now - self._quiet_since >= self.stall_after:
+                    self.stalled = True
+                    return True
+            else:
+                self._quiet_since = None
+            self._last_messages = messages
+            return False
+
+        return check
+
+    # -- sim classification ---------------------------------------------------------
+    def observe_quiescence(self, completed: bool) -> None:
+        """Sim backend: the world ran to quiescence; classify the result."""
+        self.stalled = not completed
+
+    @property
+    def classification(self) -> str:
+        if not self.stalled:
+            return "completed"
+        return "expected-no-liveness" if not self.expect_liveness else "stall"
+
+    # -- the postmortem bundle -------------------------------------------------------
+    def report(
+        self,
+        *,
+        faults=None,
+        orchestrator=None,
+        queue_depths: Optional[dict] = None,
+        suspects: Optional[dict] = None,
+    ) -> dict:
+        """The ``watchdog`` record section; a ``postmortem`` key appears
+        only for stalled runs (keeping completed records deterministic
+        across backends)."""
+        section: dict = {
+            "stalled": self.stalled,
+            "expect_liveness": self.expect_liveness,
+        }
+        if not self.stalled:
+            return section
+        section["classification"] = self.classification
+        postmortem: dict = {}
+        if orchestrator is not None:
+            postmortem["stages"] = orchestrator.describe_stages()
+        if faults is not None:
+            postmortem["dropped_messages"] = faults.dropped_messages
+            postmortem["delayed_messages"] = faults.delayed_messages
+            postmortem["partitioned"] = faults.partitioned
+            postmortem["crashed"] = sorted(faults.crashed)
+            postmortem["trace"] = [list(entry) for entry in faults.trace]
+            if faults.weather is not None:
+                postmortem["weather"] = faults.weather.describe()
+        if queue_depths is not None:
+            postmortem["queues"] = {str(k): v for k, v in sorted(queue_depths.items())}
+        if suspects is not None:
+            postmortem["suspects"] = suspects
+        section["postmortem"] = postmortem
+        return section

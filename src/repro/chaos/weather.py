@@ -1,0 +1,187 @@
+"""Network weather: per-link seeded loss, duplication, reordering, jitter.
+
+A :class:`WeatherSpec` describes imperfect links declaratively; a
+:class:`NetworkWeather` instance turns the spec into *deterministic*
+per-link randomness.  Every effect on every directed link draws from its
+own ``random.Random`` stream keyed ``{seed}|weather|{effect}|{src}|{dst}``,
+so the k-th message on a link meets the k-th draw of each stream on every
+backend: the sim consumes all streams in one process, while the proc
+backend splits them -- the *sender* draws only the loss stream (weather
+loss is decided at send time, like partitions) and the *receiver* draws
+only the duplication/reorder/jitter streams.  Because links deliver FIFO
+per (src, dst) pair and lost messages are never transmitted, the split
+consumes the streams in exactly the same order as the single-process
+backends, which is what makes one weather spec mean the same thing on
+sim, inproc, tcp, and proc.
+
+Loss is an *omission* fault: it breaks the asynchrony assumption, so any
+spec with positive loss is treated as not liveness-preserving (see
+:meth:`repro.chaos.schedule.ChaosSpec.keeps_liveness`).  Duplication,
+reordering, and jitter only re-time or repeat deliveries; protocols are
+expected to decide identically under them (the delivery-idempotence
+property tests pin this).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["WeatherSpec", "WeatherDecision", "NetworkWeather"]
+
+#: spacing between duplicate copies of one message (simulated seconds)
+DUPLICATE_SPACING = 0.005
+
+#: reorder hold when the spec sets no jitter: long enough to overtake
+#: later sends, short enough not to stall quiescence detection
+DEFAULT_REORDER_SCALE = 0.05
+
+
+@dataclass(frozen=True)
+class WeatherSpec:
+    """Declarative imperfect-link model.
+
+    Global probabilities apply to every directed link; ``links`` holds
+    asymmetric per-link overrides as ``(src, dst, loss, duplicate,
+    reorder, jitter)`` 6-tuples (an override replaces *all four* knobs
+    for that directed link, so a storm can rage one way while the
+    reverse path stays clean).
+    """
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    jitter: float = 0.0
+    links: tuple = ()
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "duplicate", "reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"weather {name} must be a probability, got {p}")
+        if self.jitter < 0:
+            raise ValueError(f"weather jitter must be >= 0, got {self.jitter}")
+        for link in self.links:
+            if len(link) != 6:
+                raise ValueError(
+                    "weather link overrides are (src, dst, loss, duplicate, "
+                    f"reorder, jitter) 6-tuples, got {link!r}"
+                )
+
+    def knobs(self, src: int, dst: int) -> tuple:
+        """``(loss, duplicate, reorder, jitter)`` effective on one link."""
+        for link in self.links:
+            if link[0] == src and link[1] == dst:
+                return (float(link[2]), float(link[3]), float(link[4]), float(link[5]))
+        return (self.loss, self.duplicate, self.reorder, self.jitter)
+
+    @property
+    def any_loss(self) -> bool:
+        """True when any link (global or override) can drop messages."""
+        if self.loss > 0:
+            return True
+        return any(link[2] > 0 for link in self.links)
+
+    def to_dict(self) -> dict:
+        record: dict = {}
+        for name in ("loss", "duplicate", "reorder", "jitter"):
+            value = getattr(self, name)
+            if value:
+                record[name] = value
+        if self.links:
+            record["links"] = [list(link) for link in self.links]
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "WeatherSpec":
+        return cls(
+            loss=float(record.get("loss", 0.0)),
+            duplicate=float(record.get("duplicate", 0.0)),
+            reorder=float(record.get("reorder", 0.0)),
+            jitter=float(record.get("jitter", 0.0)),
+            links=tuple(tuple(link) for link in record.get("links", ())),
+        )
+
+
+@dataclass(frozen=True)
+class WeatherDecision:
+    """Delivery-point outcome for one (surviving) message: how many extra
+    copies to deliver and how much extra delay to add."""
+
+    duplicates: int = 0
+    delay: float = 0.0
+
+    CLEAN = None  # type: WeatherDecision  # populated below
+
+
+WeatherDecision.CLEAN = WeatherDecision()
+
+
+class NetworkWeather:
+    """Seeded realization of a :class:`WeatherSpec`.
+
+    ``on_send`` decides loss (consumed by the *sending* side on every
+    backend); ``on_deliver`` decides duplication, reordering, and jitter
+    (consumed where the message is dispatched to its handler).  Counters
+    record what actually fired so tests and postmortems can see the storm.
+    """
+
+    def __init__(self, spec: WeatherSpec, *, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = int(seed)
+        self._streams: dict[tuple, random.Random] = {}
+        self.lost = 0
+        self.duplicated = 0
+        self.reordered = 0
+        self.jittered = 0
+
+    def _rng(self, effect: str, src: int, dst: int) -> random.Random:
+        key = (effect, src, dst)
+        rng = self._streams.get(key)
+        if rng is None:
+            rng = random.Random(f"{self.seed}|weather|{effect}|{src}|{dst}")
+            self._streams[key] = rng
+        return rng
+
+    def on_send(self, src: int, dst: int) -> bool:
+        """True when this message is lost (never transmitted)."""
+        loss, _, _, _ = self.spec.knobs(src, dst)
+        if loss <= 0:
+            return False
+        if self._rng("loss", src, dst).random() < loss:
+            self.lost += 1
+            return True
+        return False
+
+    def on_deliver(self, src: int, dst: int) -> WeatherDecision:
+        """Duplication / reorder-hold / jitter for one surviving message."""
+        _, duplicate, reorder, jitter = self.spec.knobs(src, dst)
+        duplicates = 0
+        delay = 0.0
+        if duplicate > 0 and self._rng("duplicate", src, dst).random() < duplicate:
+            duplicates = 1
+            self.duplicated += 1
+        if reorder > 0 and self._rng("reorder", src, dst).random() < reorder:
+            # Hold the message long enough that later sends overtake it.
+            scale = jitter if jitter > 0 else DEFAULT_REORDER_SCALE
+            delay += self._rng("reorder-hold", src, dst).uniform(1.0, 3.0) * scale
+            self.reordered += 1
+        if jitter > 0:
+            delay += self._rng("jitter", src, dst).uniform(0.0, jitter)
+            self.jittered += 1
+        if duplicates == 0 and delay == 0.0:
+            return WeatherDecision.CLEAN
+        return WeatherDecision(duplicates=duplicates, delay=delay)
+
+    def counters(self) -> dict:
+        return {
+            "lost": self.lost,
+            "duplicated": self.duplicated,
+            "reordered": self.reordered,
+            "jittered": self.jittered,
+        }
+
+    def describe(self) -> dict:
+        return {"spec": self.spec.to_dict(), "seed": self.seed,
+                "counters": self.counters()}

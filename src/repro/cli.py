@@ -311,8 +311,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay",
         default=None,
         metavar="SPEC",
-        help="re-run one replay spec: a JSON line, or @FILE to load the "
-        "first line of a failures file",
+        help="re-run replay specs: a JSON line, @FILE (every line of a "
+        "failures file), or @DIR/ (every line of every file in DIR); "
+        "exits 0 clean / 1 violations / 2 error",
     )
     fuzz.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
@@ -822,31 +823,79 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_replay_specs(raw: str) -> list:
+    """Replay-spec sources: an inline JSON line, ``@FILE`` (every JSON
+    line of the file), or ``@DIR/`` (every JSON line of every file in the
+    directory, sorted by name)."""
+    import os
+
+    if not raw.startswith("@"):
+        return [json.loads(raw)]
+    path = raw[1:]
+    if os.path.isdir(path):
+        paths = sorted(
+            os.path.join(path, name)
+            for name in os.listdir(path)
+            if os.path.isfile(os.path.join(path, name))
+        )
+    else:
+        paths = [path]
+    specs = []
+    for file_path in paths:
+        with open(file_path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    specs.append(json.loads(line))
+    if not specs:
+        raise ValueError(f"no replay specs found under {path!r}")
+    return specs
+
+
 def _run_fuzz_command(args: argparse.Namespace) -> int:
     from .adversary import FuzzConfig, replay_episode, run_campaign
 
     if args.replay is not None:
         try:
-            raw = args.replay
-            if raw.startswith("@"):
-                with open(raw[1:], encoding="utf-8") as fh:
-                    raw = fh.readline()
-            spec = json.loads(raw)
-            outcome = replay_episode(spec, timeout=args.timeout)
+            specs = _load_replay_specs(args.replay)
+            outcomes = [
+                (spec, replay_episode(spec, timeout=args.timeout))
+                for spec in specs
+            ]
         except (ValueError, KeyError, TimeoutError, OSError) as exc:
             return _fail(args, exc)
-        payload = {
-            "replayed": {k: v for k, v in spec.items() if k != "violations"},
-            "violations": outcome.violations,
-            "skipped": outcome.skipped,
-        }
+        violating = sum(1 for _, o in outcomes if o.violations)
+        if len(outcomes) == 1:
+            spec, outcome = outcomes[0]
+            payload = {
+                "replayed": {k: v for k, v in spec.items() if k != "violations"},
+                "violations": outcome.violations,
+                "skipped": outcome.skipped,
+            }
+        else:
+            payload = {
+                "replayed": [
+                    {
+                        "episode": {
+                            k: v for k, v in spec.items() if k != "violations"
+                        },
+                        "violations": outcome.violations,
+                        "skipped": outcome.skipped,
+                    }
+                    for spec, outcome in outcomes
+                ],
+                "violations": violating,
+            }
         if args.json:
             print(json.dumps(payload, sort_keys=True))
         else:
-            print(f"episode   : {spec.get('episode')} (seed {spec.get('seed')})")
-            print(f"kind      : {spec.get('kind')}")
-            print(f"violations: {outcome.violations or 'none'}")
-        return 1 if outcome.violations else 0
+            for spec, outcome in outcomes:
+                print(f"episode   : {spec.get('episode')} (seed {spec.get('seed')})")
+                print(f"kind      : {spec.get('kind')}")
+                print(f"violations: {outcome.violations or 'none'}")
+            if len(outcomes) != 1:
+                print(f"replayed  : {len(outcomes)}  violating: {violating}")
+        return 1 if violating else 0
 
     try:
         from .parallel import parse_jobs

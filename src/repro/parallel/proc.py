@@ -189,6 +189,21 @@ async def _worker_main(
         driver.adversary.install_network_faults(faults, driver.map_pid)
     if spec.faults.heal_at is not None:
         ctx.at(spec.faults.heal_at, faults.heal)
+    orchestrator = None
+    if spec.chaos is not None:
+        from ..chaos.orchestrator import ChaosOrchestrator
+
+        # Every worker arms the full plan; fault-controller mutations
+        # fire everywhere (the controllers must agree), party-level
+        # effects only on the one hosted node (scope).
+        orchestrator = ChaosOrchestrator(spec, driver)
+        orchestrator.install(
+            ctx,
+            faults,
+            scope=(nid,),
+            metrics=metrics,
+            restart_fn=lambda n: (party.restart(), driver.restart_node(ctx, n)),
+        )
     if nid in set(crashed):
         node.party.crash()
     observer = nid in set(driver.observers(ctx))
@@ -265,8 +280,25 @@ async def _worker_main(
                                 ),
                                 "duplicates_dropped": transport.duplicates_dropped,
                                 "reconnects": transport.reconnects,
+                                "retries_dropped": transport.retries_dropped,
                             }
                             if spec.faults.restarts
+                            else None
+                        ),
+                        "chaos": (
+                            {
+                                "stages": orchestrator.describe_stages(),
+                                "weather": (
+                                    faults.weather.counters()
+                                    if faults.weather is not None
+                                    else None
+                                ),
+                                "duplicate_commits": (
+                                    orchestrator.summary()["duplicate_commits"]
+                                ),
+                                "trace": [list(e) for e in faults.trace],
+                            }
+                            if orchestrator is not None
                             else None
                         ),
                     },
@@ -300,6 +332,7 @@ class ProcCluster:
         from ..scenarios.harness import (
             _DRIVERS,
             RunContext,
+            _chaos_horizon,
             _fault_plan,
             build_driver,
         )
@@ -334,6 +367,11 @@ class ProcCluster:
             if self.driver.adversary is not None
             else True
         )
+        #: settle floor: with a chaos plan, quiescence before the last
+        #: scheduled stage/heal/epoch is *early* quiescence -- late
+        #: stages (a load surge, a byzantine activation) have not fired
+        #: yet, so completion cannot be declared before this elapsed time
+        self.chaos_horizon = _chaos_horizon(spec) if spec.chaos is not None else 0.0
         #: the crash-restart plan in node-id terms, ordered by fire time
         self.restarts = sorted(
             (crash_at, restart_at, node_id)
@@ -488,6 +526,7 @@ class ProcCluster:
                 "recovered_from_peers": 0,
                 "duplicates_dropped": 0,
                 "reconnects": 0,
+                "retries_dropped": 0,
                 "suspect_transitions": 0,
                 "alive_transitions": 0,
             }
@@ -520,6 +559,7 @@ class ProcCluster:
                     "recovered_from_peers",
                     "duplicates_dropped",
                     "reconnects",
+                    "retries_dropped",
                 ):
                     recovery[key] += r["recovery"][key]
                 recovery["suspect_transitions"] += m.get("suspect_transitions", 0)
@@ -527,6 +567,9 @@ class ProcCluster:
             if r["observer"]:
                 decided[str(nid)] = r["output"]
                 completed = completed and bool(r["done"])
+        chaos_section = (
+            self._merge_chaos(results, completed) if self.spec.chaos is not None else None
+        )
         return ScenarioResult(
             spec=self.spec,
             backend="proc",
@@ -550,7 +593,77 @@ class ProcCluster:
             ),
             workers=workers,
             recovery=recovery,
+            chaos=chaos_section,
         )
+
+    def _merge_chaos(self, results: dict, completed: bool) -> dict:
+        """Fold per-worker chaos sections into one record section.
+
+        Stage ``fired`` flags are OR-ed (fault-controller stages fire in
+        every worker, party-level stages only on the hosting one), weather
+        counters and duplicate commits are summed, and the parent-side
+        watchdog classifies the outcome -- on a stall the postmortem
+        carries each worker's message trace.
+        """
+        from ..chaos.watchdog import LivenessWatchdog
+
+        worker_sections = {
+            nid: r["chaos"] for nid, r in results.items() if r.get("chaos")
+        }
+        stages: list = []
+        weather: Optional[dict] = None
+        duplicate_commits = 0
+        for nid in sorted(worker_sections):
+            section = worker_sections[nid]
+            duplicate_commits += section["duplicate_commits"]
+            if not stages:
+                stages = [dict(s) for s in section["stages"]]
+            else:
+                for merged, local in zip(stages, section["stages"]):
+                    merged["fired"] = merged["fired"] or local["fired"]
+                    if local.get("gave_up") and not merged["fired"]:
+                        merged["gave_up"] = True
+            if section.get("weather"):
+                if weather is None:
+                    weather = dict.fromkeys(section["weather"], 0)
+                for key, value in section["weather"].items():
+                    weather[key] += value
+        chaos_section: dict = {"stages": stages}
+        if weather is not None:
+            chaos_section["weather"] = {
+                "spec": self.spec.chaos.weather.to_dict()
+                if self.spec.chaos.weather is not None
+                else None,
+                "seed": self.spec.seed,
+                "counters": weather,
+            }
+        chaos_section["duplicate_commits"] = duplicate_commits
+        if self.spec.chaos.watchdog:
+            watchdog = LivenessWatchdog(
+                self.spec.chaos,
+                expect_liveness=self.expect_liveness,
+                horizon=self.chaos_horizon,
+            )
+            watchdog.observe_quiescence(completed)
+            section = watchdog.report()
+            if "postmortem" in section:
+                section["postmortem"].update(
+                    {
+                        "stages": stages,
+                        "dropped_messages": sum(
+                            r["dropped"] for r in results.values()
+                        ),
+                        "delayed_messages": sum(
+                            r["delayed"] for r in results.values()
+                        ),
+                        "trace": {
+                            str(nid): worker_sections[nid]["trace"]
+                            for nid in sorted(worker_sections)
+                        },
+                    }
+                )
+            chaos_section["watchdog"] = section
+        return chaos_section
 
     def _collect_ready(self, deadline: float) -> dict[int, tuple[str, int]]:
         addresses: dict[int, tuple[str, int]] = {}
@@ -659,7 +772,11 @@ class ProcCluster:
                 for nid in self.observers
                 if nid in statuses
             )
-            if quiescent and (done or not self.expect_liveness):
+            if (
+                quiescent
+                and (done or not self.expect_liveness)
+                and elapsed >= self.chaos_horizon
+            ):
                 stable += 1
                 if stable >= _STABLE_POLLS:
                     return

@@ -9,7 +9,10 @@ works on :class:`InProcTransport` is guaranteed to serialize for
 Delivery semantics match the simulator's network: reliable point-to-point
 links with arbitrary (but finite) delays, no ordering guarantee across
 links.  Fault injection (:class:`~repro.runtime.faults.FaultController`)
-is consulted at the delivery point, identically for both transports.
+is consulted at two points, identically for every transport: terminal
+faults (crash, partition, weather loss) at the send point via
+``condemn``, re-timing faults (delay, jitter, duplication) plus an
+in-flight terminal re-check at the delivery point via ``decide``.
 """
 
 from __future__ import annotations
@@ -38,6 +41,9 @@ _SEQ = struct.Struct(">Q")
 _WATERMARK_EVERY = 16
 #: an empty frame body's length prefix (heartbeats carry no payload)
 _LEN_ZERO = struct.pack(">I", 0)
+#: default cap on parked frames per destination in the proc mesh's
+#: self-healing retry queue (drop-oldest beyond it; see ``_park``)
+DEFAULT_RETRY_LIMIT = 256
 
 #: synchronous delivery callback: ``handler(src, message)``
 Handler = Callable[[int, Any], None]
@@ -138,7 +144,11 @@ class Transport:
         self.in_flight -= 1
 
     def _deliver(self, src: int, dst: int, data: bytes) -> None:
-        """Fault check, decode, dispatch -- the common delivery point."""
+        """Fault check, decode, dispatch -- the common delivery point.
+
+        Weather duplication delivers ``decision.duplicates`` extra copies
+        of the message as distinct later arrivals (each holding its own
+        in-flight slot), matching the sim network's dispatch."""
         handler = self._handlers.get(dst)
         decision = self.faults.decide(src, dst)
         if handler is None or not decision.deliver:
@@ -151,17 +161,27 @@ class Transport:
                 self.failure = exc
             self._resolve()
             raise
-        if decision.delay > 0:
-            task = asyncio.ensure_future(
-                self._deliver_later(handler, src, message, decision.delay)
+        for copy in range(decision.duplicates):
+            self.in_flight += 1
+            self._dispatch_later(
+                handler, src, message, decision.delay + 0.005 * (copy + 1)
             )
-            self._delayed_tasks.add(task)
-            task.add_done_callback(self._delayed_tasks.discard)
+        if decision.delay > 0:
+            self._dispatch_later(handler, src, message, decision.delay)
         else:
             try:
                 handler(src, message)
             finally:
                 self._resolve()
+
+    def _dispatch_later(
+        self, handler: Handler, src: int, message: Any, delay: float
+    ) -> None:
+        task = asyncio.ensure_future(
+            self._deliver_later(handler, src, message, delay)
+        )
+        self._delayed_tasks.add(task)
+        task.add_done_callback(self._delayed_tasks.discard)
 
     async def _deliver_later(
         self, handler: Handler, src: int, message: Any, delay: float
@@ -239,6 +259,11 @@ class InProcTransport(Transport):
         if queue is None:
             raise KeyError(f"unknown destination {dst}")
         data = self._encode_and_record(message)
+        # Terminal faults fire at the send point (metrics already counted,
+        # matching the sim): a condemned message never enters the queue.
+        if self.faults.condemn(src, dst):
+            self._resolve()
+            return len(data)
         queue.put_nowait((src, data))
         return len(data)
 
@@ -318,6 +343,9 @@ class TcpTransport(Transport):
         if dst not in self._ports:
             raise KeyError(f"unknown destination {dst}")
         framed = self._encode_frame_and_record(message)
+        if self.faults.condemn(src, dst):
+            self._resolve()
+            return len(framed) - 4
         # Self-healing: a dropped stream (peer restarting its listener, a
         # flaky localhost accept queue) is retried on a fresh connection
         # with backoff before the failure propagates to the node.
@@ -393,10 +421,13 @@ class ProcMeshTransport(Transport):
     ``sum(frames_sent) == sum(frames_received)`` across two consecutive
     polls -- which is why both counters are public here.
 
-    Fault injection stays at the delivery point: each worker installs the
-    full fault plan into its local :class:`FaultController`, and only the
-    ``(src, dst == local)`` decisions ever fire, so drop/delay counts sum
-    across workers to exactly the single-process totals.
+    Fault injection is split by direction: each worker installs the full
+    fault plan into its local :class:`FaultController`, the *sender*
+    evaluates ``condemn(local, dst)`` (terminal faults, incl. weather
+    loss), and the *receiver* evaluates ``decide(src, local)`` (delays,
+    duplication, and the in-flight terminal re-check).  Each message is
+    judged exactly once per point, so drop/delay counts sum across
+    workers to exactly the single-process totals.
 
     Self-healing (the crash-recovery layer): every non-self frame carries
     an 8-byte per-link sequence number; the receiver keeps a per-source
@@ -434,6 +465,13 @@ class ProcMeshTransport(Transport):
         self.frames_received = 0
         self.duplicates_dropped = 0
         self.reconnects = 0
+        #: cap on parked frames per destination; beyond it the *oldest*
+        #: parked frame is discarded (counted in ``retries_dropped``) so a
+        #: long partition under load cannot grow memory without bound.
+        #: Oldest-first keeps what the reborn peer is most likely to still
+        #: need; protocol retransmission covers the discarded prefix.
+        self.retry_limit = DEFAULT_RETRY_LIMIT
+        self.retries_dropped = 0
         #: optional persistence hook ``(src, seq)`` for receive watermarks
         #: (a recoverable party's WAL); sampled every ``_WATERMARK_EVERY``
         self.watermark_sink: Optional[Callable[[int, int], None]] = None
@@ -579,6 +617,9 @@ class ProcMeshTransport(Transport):
             # codec, and still count on both frame ledgers so the parent's
             # conservation check balances.
             data = self._encode_and_record(message)
+            if self.faults.condemn(src, dst):
+                self._resolve()
+                return len(data)
             self.frames_sent += 1
             self.frames_received += 1
             self._deliver(src, dst, data)
@@ -586,6 +627,12 @@ class ProcMeshTransport(Transport):
         if dst not in self._peers:
             raise KeyError(f"unknown destination {dst}")
         framed = self._encode_frame_and_record(message)
+        # Terminal faults fire before sequencing: a condemned frame never
+        # touches the frame ledgers, so the parent's sent == received
+        # conservation check stays balanced without transmitting it.
+        if self.faults.condemn(src, dst):
+            self._resolve()
+            return len(framed) - 4
         seq = self._send_seq.get(dst, 0) + 1
         self._send_seq[dst] = seq
         framed = _SEQ.pack(seq) + framed
@@ -593,8 +640,7 @@ class ProcMeshTransport(Transport):
         backlog = self._retry.get(dst)
         if backlog:
             # keep per-link FIFO: never overtake frames already parked
-            backlog.append(framed)
-            self._ensure_retry_task(dst)
+            self._park(dst, framed)
             return len(framed) - _SEQ.size - 4
         try:
             writer = await self._writer_for(dst)
@@ -606,14 +652,28 @@ class ProcMeshTransport(Transport):
             # in-flight slot stays open, so the worker does not look idle
             # while frames await redelivery.
             self._writers.pop(dst, None)
-            self._retry.setdefault(dst, deque()).append(framed)
-            self._ensure_retry_task(dst)
+            self._park(dst, framed)
             return len(framed) - _SEQ.size - 4
         # Drained to the kernel: the receiving worker's in_flight takes
         # over the moment the frame arrives, so resolve locally (the
         # frame's fate is no longer observable here).
         self._resolve()
         return len(framed) - _SEQ.size - 4
+
+    def _park(self, dst: int, framed: bytes) -> None:
+        """Queue a frame for the backoff task, bounding the backlog.
+
+        Drop-oldest: the discarded frame's in-flight slot closes (its
+        fate is decided -- gone) and ``retries_dropped`` counts it, so
+        tests and postmortems can see a partition shedding load."""
+        backlog = self._retry.setdefault(dst, deque())
+        backlog.append(framed)
+        while len(backlog) > self.retry_limit:
+            backlog.popleft()
+            self.retries_dropped += 1
+            self.faults.trace.append((self.local_pid, dst, "retry-dropped"))
+            self._resolve()
+        self._ensure_retry_task(dst)
 
     def _ensure_retry_task(self, dst: int) -> None:
         task = self._retry_tasks.get(dst)

@@ -275,12 +275,26 @@ class SmrDriver(ProtocolDriver):
 
     def _required_epochs(self) -> list[int]:
         epochs = range(self.spec.workload.epochs)
-        if not self.spec.faults.partition:
+        barriers = []
+        if self.spec.faults.partition:
+            heal = self.spec.faults.heal_at
+            if heal is None:
+                return []  # never heals: no epoch can commit everywhere
+            barriers.append(heal)
+        if self.spec.chaos is not None:
+            start, heal = self.spec.chaos.partition_window()
+            if start is not None:
+                if heal is None:
+                    # A chaos partition that never heals is the watchdog's
+                    # stall case: keep every epoch required so done() stays
+                    # unsatisfiable and the stall is classified, not hidden
+                    # behind a vacuous completion.
+                    return list(epochs)
+                barriers.append(heal)
+        if not barriers:
             return list(epochs)
-        heal = self.spec.faults.heal_at
-        if heal is None:
-            return []  # never heals: no epoch can commit everywhere
-        return [e for e in epochs if self.spec.workload.start_time(e) >= heal]
+        floor = max(barriers)
+        return [e for e in epochs if self.spec.workload.start_time(e) >= floor]
 
     def start(self, ctx: RunContext) -> None:
         for epoch in range(self.spec.workload.epochs):
@@ -520,6 +534,10 @@ class ScenarioResult:
     #: crash-restart runs on proc only: per-node downtime/rejoin timings
     #: plus summed recovery counters (WAL replays, peer sync, dedup)
     recovery: Optional[dict] = None
+    #: chaos runs only: stage timeline with fired flags, weather
+    #: realization, the delivery-idempotence counter, and the watchdog
+    #: verdict (plus a postmortem bundle when the run stalled)
+    chaos: Optional[dict] = None
 
     def record(self) -> dict:
         """JSON-able snapshot.  On the sim backend every field is a pure
@@ -558,6 +576,8 @@ class ScenarioResult:
             rec["workers"] = dict(sorted(self.workers.items()))
         if self.recovery is not None:
             rec["recovery"] = self.recovery
+        if self.chaos is not None:
+            rec["chaos"] = self.chaos
         return rec
 
     def record_json(self) -> str:
@@ -635,7 +655,19 @@ def build_driver(
             epochs=spec.workload.epochs,
         )
     adversary = None
-    if spec.faults.byzantine:
+    if spec.chaos is not None:
+        # Chaos plans always get the staged adversary (even with no
+        # byzantine stages: it carries the merged liveness claim and the
+        # chaos-crash budget check); it delegates flat strategies.
+        from ..chaos.orchestrator import StagedAdversary
+
+        if spec.workload.kind == "service":
+            raise ValueError(
+                "chaos plans run on batch workloads; service workloads "
+                "have their own rotation-driven fault hooks"
+            )
+        adversary = StagedAdversary(spec, committee)
+    elif spec.faults.byzantine:
         from ..adversary.strategies import Adversary
 
         adversary = Adversary(spec, committee)
@@ -728,6 +760,20 @@ def _apply_static_faults(
         faults.delay_link(src, dst, delay)
 
 
+def _chaos_horizon(spec) -> float:
+    """Latest scenario time at which anything is *scheduled* to fire
+    (epoch starts, heal, restarts, chaos stages): before it, quiet is
+    just waiting; after it, quiet without completion is a stall."""
+    times = [spec.workload.start_time(e) for e in range(spec.workload.epochs)]
+    if spec.faults.heal_at is not None:
+        times.append(spec.faults.heal_at)
+    for _pid, _crash_at, restart_at in spec.faults.restarts:
+        times.append(restart_at)
+    if spec.chaos is not None:
+        times.append(spec.chaos.latest_time())
+    return max(times + [0.0])
+
+
 def _schedule_restarts(spec, driver, ctx, crash_fn, restart_fn) -> None:
     """Arm the crash-restart plan: crash at T, rejoin at T + delta.
 
@@ -778,11 +824,41 @@ def _run_sim(spec, driver, faults, crashed, groups, links, live_nodes, common):
         lambda nid: (world.party(nid).crash(), faults.crash(nid)),
         lambda nid: (faults.restart(nid), world.party(nid).restart()),
     )
+    orchestrator = None
+    if spec.chaos is not None:
+        from ..chaos.orchestrator import ChaosOrchestrator
+
+        orchestrator = ChaosOrchestrator(spec, driver)
+        orchestrator.install(
+            ctx,
+            faults,
+            metrics=world.metrics,
+            restart_fn=lambda nid: (
+                world.party(nid).restart(),
+                driver.restart_node(ctx, nid),
+            ),
+        )
     driver.start(ctx)
     world.run()  # to quiescence: trailing messages count, as on the runtime
+    completed = driver.done(ctx)
+    chaos_section = None
+    if orchestrator is not None:
+        from ..chaos.watchdog import LivenessWatchdog
+
+        watchdog = LivenessWatchdog(
+            spec.chaos,
+            expect_liveness=driver.adversary.expect_liveness,
+            horizon=_chaos_horizon(spec),
+        )
+        # The sim ran to exact quiescence, so "not done" IS the stall.
+        watchdog.observe_quiescence(completed)
+        chaos_section = orchestrator.summary()
+        chaos_section["watchdog"] = watchdog.report(
+            faults=faults, orchestrator=orchestrator
+        )
     m = world.metrics
     return ScenarioResult(
-        completed=driver.done(ctx),
+        completed=completed,
         decided=driver.outputs(ctx),
         messages=m.messages,
         bytes=m.bytes,
@@ -792,6 +868,7 @@ def _run_sim(spec, driver, faults, crashed, groups, links, live_nodes, common):
         delayed_messages=faults.delayed_messages,
         sim_time=world.simulator.now,
         sim_events=world.simulator.events_processed,
+        chaos=chaos_section,
         **common,
     )
 
@@ -828,6 +905,16 @@ def _run_runtime(
             cluster.crash_node,
             cluster.restart_node,
         )
+        if orchestrator is not None:
+            orchestrator.install(
+                ctx,
+                faults,
+                metrics=cluster.metrics,
+                restart_fn=lambda nid: (
+                    cluster.restart_node(nid),
+                    driver.restart_node(ctx, nid),
+                ),
+            )
         driver.start(ctx)
 
     # A liveness-breaking strategy (e.g. an equivocating RBC sender) may
@@ -836,20 +923,54 @@ def _run_runtime(
     expect_liveness = (
         driver.adversary.expect_liveness if driver.adversary is not None else True
     )
+    orchestrator = None
+    watchdog = None
+    if spec.chaos is not None:
+        from ..chaos.orchestrator import ChaosOrchestrator
+        from ..chaos.watchdog import LivenessWatchdog
+
+        orchestrator = ChaosOrchestrator(spec, driver)
+        if spec.chaos.watchdog:
+            watchdog = LivenessWatchdog(
+                spec.chaos,
+                expect_liveness=expect_liveness,
+                horizon=_chaos_horizon(spec),
+            )
+    if watchdog is not None:
+        # The watchdog stops a stalled run after ``stall_after`` seconds
+        # of quiescence past the horizon -- a postmortem, not a timeout.
+        stop_when = watchdog.stop_condition(lambda: driver.done(holder["ctx"]))
+    elif expect_liveness:
+        stop_when = lambda c: driver.done(holder["ctx"])  # noqa: E731
+    else:
+        stop_when = None
     cluster = run_cluster(
         driver.factory,
         driver.n_nodes,
         transport=transport,
         faults=faults,
         setup=setup,
-        stop_when=(lambda c: driver.done(holder["ctx"])) if expect_liveness else None,
+        stop_when=stop_when,
         timeout=timeout,
         committee=driver.committee,
     )
     ctx = holder["ctx"]
+    completed = driver.done(ctx)
+    chaos_section = None
+    if orchestrator is not None:
+        chaos_section = orchestrator.summary()
+        if watchdog is not None:
+            watchdog.observe_quiescence(completed)
+            chaos_section["watchdog"] = watchdog.report(
+                faults=faults,
+                orchestrator=orchestrator,
+                queue_depths={
+                    node.pid: node.inbox.qsize() for node in cluster.nodes
+                },
+            )
     m = cluster.metrics
     return ScenarioResult(
-        completed=driver.done(ctx),
+        completed=completed,
         decided=driver.outputs(ctx),
         messages=m.messages,
         bytes=m.bytes,
@@ -858,5 +979,6 @@ def _run_runtime(
         dropped_messages=faults.dropped_messages,
         delayed_messages=faults.delayed_messages,
         wall_seconds=m.elapsed_seconds,
+        chaos=chaos_section,
         **common,
     )

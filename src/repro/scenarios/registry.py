@@ -8,6 +8,8 @@ cross-backend acceptance bar.
 
 from __future__ import annotations
 
+from ..chaos.schedule import ChaosSpec, ChaosStage, TriggerSpec
+from ..chaos.weather import WeatherSpec
 from .spec import ByzantineSpec, FaultSpec, NetSpec, ScenarioSpec, WeightSpec, WorkloadSpec
 
 __all__ = ["SCENARIOS", "INPROC_SCENARIOS", "get_scenario", "scenario_names"]
@@ -165,6 +167,65 @@ _ALL = [
         description="corrupted validators flood forged threshold shares "
         "under honest indices; certificates form from honest tickets",
     ),
+    # -- chaos scenarios: staged timelines driven by the orchestrator
+    ScenarioSpec(
+        name="partition-heal-corrupt-smr",
+        protocol="smr",
+        weights=WeightSpec(kind="explicit", values=(30, 25, 20, 10, 5, 5, 3, 2)),
+        net=NetSpec(delay_low=0.005, delay_high=0.02),
+        workload=WorkloadSpec(payload_size=32, epochs=2, epoch_times=(0.0, 0.45)),
+        chaos=ChaosSpec(
+            stages=(
+                ChaosStage(
+                    action="partition",
+                    trigger=TriggerSpec(kind="time", value=0.0),
+                    params=(("groups", ((0, 1, 2, 3), (4, 5, 6, 7))),),
+                ),
+                ChaosStage(
+                    action="heal",
+                    trigger=TriggerSpec(kind="time", value=0.3),
+                ),
+                ChaosStage(
+                    action="byzantine",
+                    trigger=TriggerSpec(kind="time", value=0.35),
+                    params=(("strategy", "adaptive-corrupt"),),
+                ),
+            ),
+        ),
+        description="staged timeline: partition at t=0, heal at 0.3, then "
+        "adaptive corruption goes silent; epoch 1 still commits everywhere",
+    ),
+    ScenarioSpec(
+        name="weather-storm-smr",
+        protocol="smr",
+        weights=WeightSpec(kind="explicit", values=_STAKE),
+        workload=WorkloadSpec(payload_size=32, epochs=2),
+        chaos=ChaosSpec(
+            weather=WeatherSpec(duplicate=0.15, reorder=0.25, jitter=0.03),
+        ),
+        description="ambient network weather (duplication, reordering, "
+        "jitter; no loss) over two SMR epochs; delivery idempotence keeps "
+        "every log duplicate-free",
+    ),
+    ScenarioSpec(
+        name="rolling-restart-under-load",
+        protocol="smr",
+        weights=WeightSpec(kind="explicit", values=_STAKE),
+        faults=FaultSpec(restarts=((4, 0.2, 0.8), (5, 0.9, 1.5))),
+        workload=WorkloadSpec(payload_size=32, epochs=2),
+        chaos=ChaosSpec(
+            stages=(
+                ChaosStage(
+                    action="load-surge",
+                    trigger=TriggerSpec(kind="time", value=1.8),
+                    params=(("epochs", 1),),
+                ),
+            ),
+        ),
+        description="two staggered crash-restarts ride under a late "
+        "load-surge stage; recovered parties replay their WALs and the "
+        "surge epoch commits on every log",
+    ),
     ScenarioSpec(
         name="bad-handover-service",
         protocol="smr",
@@ -193,6 +254,7 @@ INPROC_SCENARIOS = (
     "skewed-quorum-rbc",
     "vaba-blackbox",
     "checkpoint-tight",
+    "partition-heal-corrupt-smr",
 )
 
 

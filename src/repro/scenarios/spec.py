@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
+from ..chaos.schedule import ChaosSpec
+
 __all__ = [
     "WeightSpec",
     "ByzantineSpec",
@@ -220,6 +222,9 @@ class ScenarioSpec:
     #: JSON scalars
     params: tuple[tuple[str, object], ...] = ()
     description: str = ""
+    #: optional chaos plan: staged fault timeline, ambient network
+    #: weather, and the liveness watchdog (see :mod:`repro.chaos`)
+    chaos: Optional[ChaosSpec] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -289,6 +294,9 @@ class ScenarioSpec:
             "seed": self.seed,
             "params": [list(p) for p in self.params],
             "description": self.description,
+            # "chaos" is serialized only when present, so chaos-free specs
+            # (and their golden records) keep their historical encoding
+            **({"chaos": self.chaos.to_dict()} if self.chaos is not None else {}),
         }
 
     @classmethod
@@ -339,4 +347,7 @@ class ScenarioSpec:
             seed=data.get("seed", 0),
             params=tuple((k, v) for k, v in data.get("params", ())),
             description=data.get("description", ""),
+            chaos=(
+                ChaosSpec.from_dict(data["chaos"]) if "chaos" in data else None
+            ),
         )

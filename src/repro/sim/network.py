@@ -7,12 +7,14 @@ that would violate asynchrony rather than model it).  The network counts
 messages and payload bytes per type, which is how the benchmark harness
 measures the communication-overhead columns of the paper's Table 1.
 
-Injected faults (crashes, partitions, per-link delay) are consulted at
-the *delivery point* through the same ``decide(src, dst)`` interface the
-live runtime's :class:`~repro.runtime.faults.FaultController` exposes, so
-one fault plan produces the same drop/delay behavior on both execution
-backends.  Metrics are recorded at send time on both backends, which
-keeps message counts comparable even under faults.
+Injected faults are consulted through the same two-point interface the
+live runtime's :class:`~repro.runtime.faults.FaultController` exposes:
+``condemn(src, dst)`` at the send point (terminal faults -- crash,
+partition, weather loss) and ``decide(src, dst)`` at the delivery point
+(delay, jitter, duplication, plus a terminal re-check for in-flight
+messages), so one fault plan produces the same drop/delay behavior on
+every execution backend.  Metrics are recorded at send time on all
+backends, which keeps message counts comparable even under faults.
 """
 
 from __future__ import annotations
@@ -129,10 +131,20 @@ class Network:
         return sorted(self.parties)
 
     def send(self, src: int, dst: int, message) -> None:
-        """Queue ``message`` for asynchronous delivery ``src -> dst``."""
+        """Queue ``message`` for asynchronous delivery ``src -> dst``.
+
+        Terminal faults (crash, partition, weather loss) are checked at
+        the *send point* -- a condemned message is counted and never
+        scheduled, matching the live transports, so a partition means the
+        same thing on every backend regardless of in-flight buffering.
+        Metrics are recorded first: counts stay comparable under faults.
+        """
         if dst not in self.parties:
             raise KeyError(f"unknown destination {dst}")
         self.metrics.record(type(message).__name__, _default_size(message))
+        condemn = getattr(self.faults, "condemn", None)
+        if condemn is not None and condemn(src, dst):
+            return
         delay = self.delay_model.delay(src, dst, self.rng)
         receiver = self.parties[dst]
         self.simulator.schedule(
@@ -142,14 +154,22 @@ class Network:
     def _deliver(self, src: int, receiver: "Party", message) -> None:
         """Fault check at the delivery point, then dispatch.
 
-        A message sent under a partition but arriving after ``heal()`` is
-        delivered -- the decision is taken when the message *arrives*,
-        matching :meth:`repro.runtime.transport.Transport._deliver`.
+        Delivery re-checks the terminal faults (a crash or partition
+        injected *after* the send still stops an in-flight message) and
+        applies the re-timing faults: link delay, weather jitter, and
+        duplication (extra copies are dispatched as distinct arrivals a
+        few milliseconds apart), matching
+        :meth:`repro.runtime.transport.Transport._deliver`.
         """
         if self.faults is not None:
             decision = self.faults.decide(src, receiver.pid)
             if not decision.deliver:
                 return
+            for copy in range(decision.duplicates):
+                self.simulator.schedule(
+                    decision.delay + 0.005 * (copy + 1),
+                    lambda m=message, s=src, r=receiver: r.receive(m, s),
+                )
             if decision.delay > 0:
                 self.simulator.schedule(
                     decision.delay,

@@ -1,0 +1,123 @@
+"""Chaos schedules: the pure-data timeline specs and their liveness claims."""
+
+import pytest
+
+from repro.chaos.schedule import ChaosSpec, ChaosStage, TriggerSpec
+from repro.chaos.weather import WeatherSpec
+from repro.scenarios.spec import ScenarioSpec, WeightSpec
+
+
+def _plan(*stages, **kwargs):
+    return ChaosSpec(stages=tuple(stages), **kwargs)
+
+
+def _partition(at=0.0):
+    return ChaosStage(
+        action="partition",
+        trigger=TriggerSpec(kind="time", value=at),
+        params=(("groups", ((0, 1), (2, 3))),),
+    )
+
+
+def _heal(at):
+    return ChaosStage(action="heal", trigger=TriggerSpec(kind="time", value=at))
+
+
+class TestTriggerSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="trigger kind"):
+            TriggerSpec(kind="phase-of-moon")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            TriggerSpec(kind="time", value=-1.0)
+
+    def test_round_trips(self):
+        for trigger in (
+            TriggerSpec(kind="time", value=0.25),
+            TriggerSpec(kind="slot", value=3, deadline=2.0),
+            TriggerSpec(kind="epoch", value=1),
+            TriggerSpec(kind="metric", value=100, metric="messages"),
+        ):
+            assert TriggerSpec.from_dict(trigger.to_dict()) == trigger
+
+
+class TestChaosStage:
+    def test_params_are_frozen_and_readable(self):
+        stage = ChaosStage.from_dict(
+            {"action": "partition", "params": {"groups": [[0, 1], [2, 3]]}}
+        )
+        assert stage.param("groups") == ((0, 1), (2, 3))
+        assert stage.param("missing", "fallback") == "fallback"
+        hash(stage)  # stays hashable after freezing
+
+    def test_round_trips(self):
+        stage = _partition(0.1)
+        assert ChaosStage.from_dict(stage.to_dict()) == stage
+
+
+class TestChaosSpec:
+    def test_round_trips_full_plan(self):
+        plan = _plan(
+            _partition(0.0),
+            _heal(0.3),
+            weather=WeatherSpec(duplicate=0.1),
+            watchdog=False,
+            stall_after=2.0,
+        )
+        assert ChaosSpec.from_dict(plan.to_dict()) == plan
+
+    def test_partition_window_and_heal_time(self):
+        assert _plan(_partition(0.1), _heal(0.4)).partition_window() == (0.1, 0.4)
+        assert _plan(_partition(0.1)).partition_window() == (0.1, None)
+        assert _plan().heal_time() == 0.0
+        assert _plan(_partition(0.1)).heal_time() is None
+        assert _plan(_partition(0.1), _heal(0.4)).heal_time() == 0.4
+
+    def test_keeps_liveness(self):
+        assert _plan(_partition(0.0), _heal(0.3)).keeps_liveness()
+        assert not _plan(_partition(0.0)).keeps_liveness()
+        assert not _plan(weather=WeatherSpec(loss=0.05)).keeps_liveness()
+        assert _plan(weather=WeatherSpec(duplicate=0.2, reorder=0.3)).keeps_liveness()
+        storm = ChaosStage(
+            action="weather",
+            trigger=TriggerSpec(kind="time", value=0.2),
+            params=(("weather", (("loss", 0.1),)),),
+        )
+        assert not _plan(storm).keeps_liveness()
+
+    def test_latest_time_covers_polled_deadlines(self):
+        plan = _plan(
+            _partition(0.0),
+            _heal(0.3),
+            ChaosStage(
+                action="crash",
+                trigger=TriggerSpec(kind="slot", value=2, deadline=4.0),
+            ),
+        )
+        assert plan.latest_time() == 4.0
+
+    def test_stall_after_validated(self):
+        with pytest.raises(ValueError, match="stall_after"):
+            ChaosSpec(stall_after=0.0)
+
+
+class TestScenarioSpecEmbedding:
+    def _spec(self, chaos=None):
+        return ScenarioSpec(
+            name="probe",
+            protocol="smr",
+            weights=WeightSpec(kind="explicit", values=(5, 5, 5, 5)),
+            chaos=chaos,
+        )
+
+    def test_chaos_key_round_trips(self):
+        spec = self._spec(chaos=_plan(_partition(0.0), _heal(0.3)))
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_chaos_free_specs_keep_their_historical_encoding(self):
+        # Replay specs persisted before the chaos engine existed must
+        # decode (and re-encode) unchanged: no "chaos" key appears.
+        encoded = self._spec().to_dict()
+        assert "chaos" not in encoded
+        assert ScenarioSpec.from_dict(encoded).chaos is None

@@ -1,0 +1,101 @@
+"""Network weather: seeded per-link loss, duplication, reorder, jitter."""
+
+import pytest
+
+from repro.chaos.weather import NetworkWeather, WeatherSpec
+
+
+class TestWeatherSpec:
+    def test_round_trips_through_dict(self):
+        spec = WeatherSpec(
+            loss=0.1,
+            duplicate=0.2,
+            reorder=0.3,
+            jitter=0.05,
+            links=((0, 1, 0.5, 0.0, 0.0, 0.0),),
+        )
+        assert WeatherSpec.from_dict(spec.to_dict()) == spec
+
+    def test_empty_spec_serializes_to_nothing(self):
+        # Conditional keys: a default spec must not bloat (or change) the
+        # encoding of every historical scenario record.
+        assert WeatherSpec().to_dict() == {}
+        assert WeatherSpec.from_dict({}) == WeatherSpec()
+
+    @pytest.mark.parametrize("field", ["loss", "duplicate", "reorder"])
+    def test_probabilities_validated(self, field):
+        with pytest.raises(ValueError):
+            WeatherSpec(**{field: 1.5})
+
+    def test_link_overrides_replace_all_knobs(self):
+        spec = WeatherSpec(loss=0.5, duplicate=0.5, links=((0, 1, 1.0, 0.0, 0.0, 0.0),))
+        assert spec.knobs(0, 1) == (1.0, 0.0, 0.0, 0.0)
+        # the override is directed; the reverse link keeps the ambient knobs
+        assert spec.knobs(1, 0) == (0.5, 0.5, 0.0, 0.0)
+
+    def test_any_loss_sees_link_overrides(self):
+        assert not WeatherSpec(duplicate=0.3).any_loss
+        assert WeatherSpec(loss=0.01).any_loss
+        assert WeatherSpec(links=((2, 3, 0.2, 0.0, 0.0, 0.0),)).any_loss
+
+
+class TestNetworkWeather:
+    def test_same_seed_same_realization(self):
+        spec = WeatherSpec(loss=0.2, duplicate=0.2, reorder=0.2, jitter=0.01)
+        a = NetworkWeather(spec, seed=7)
+        b = NetworkWeather(spec, seed=7)
+        for _ in range(200):
+            assert a.on_send(0, 1) == b.on_send(0, 1)
+            assert a.on_deliver(0, 1) == b.on_deliver(0, 1)
+        assert a.counters() == b.counters()
+
+    def test_different_seed_different_realization(self):
+        spec = WeatherSpec(loss=0.3)
+
+        def draws(seed):
+            weather = NetworkWeather(spec, seed=seed)
+            return [weather.on_send(0, 1) for _ in range(64)]
+
+        assert draws(1) != draws(2)
+
+    def test_links_draw_independent_streams(self):
+        # Draws on one link must not perturb another link's realization:
+        # the proc backend's per-worker instances only ever draw their own
+        # links, and the totals must still match the single-process run.
+        spec = WeatherSpec(loss=0.5, duplicate=0.5, jitter=0.01)
+        solo = NetworkWeather(spec, seed=3)
+        solo_draws = [
+            (solo.on_send(0, 1), solo.on_deliver(0, 1)) for _ in range(50)
+        ]
+        interleaved = NetworkWeather(spec, seed=3)
+        mixed_draws = []
+        for _ in range(50):
+            interleaved.on_send(2, 3)
+            interleaved.on_deliver(2, 3)
+            mixed_draws.append(
+                (interleaved.on_send(0, 1), interleaved.on_deliver(0, 1))
+            )
+        assert solo_draws == mixed_draws
+
+    def test_certain_loss_only_on_the_overridden_link(self):
+        weather = NetworkWeather(
+            WeatherSpec(links=((0, 1, 1.0, 0.0, 0.0, 0.0),)), seed=0
+        )
+        assert all(weather.on_send(0, 1) for _ in range(20))
+        assert not any(weather.on_send(1, 0) for _ in range(20))
+        assert weather.counters()["lost"] == 20
+
+    def test_duplication_and_jitter_reported_in_decisions(self):
+        weather = NetworkWeather(WeatherSpec(duplicate=1.0, jitter=0.02), seed=0)
+        decision = weather.on_deliver(0, 1)
+        assert decision.duplicates == 1
+        assert 0.0 <= decision.delay <= 0.02
+        counters = weather.counters()
+        assert counters["duplicated"] == 1
+
+    def test_clean_spec_never_interferes(self):
+        weather = NetworkWeather(WeatherSpec(), seed=0)
+        for _ in range(50):
+            assert not weather.on_send(0, 1)
+            decision = weather.on_deliver(0, 1)
+            assert decision.duplicates == 0 and decision.delay == 0.0

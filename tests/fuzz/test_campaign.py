@@ -70,16 +70,30 @@ class TestSampling:
         episodes = [build_episode(config, i) for i in range(120)]
         kinds = {e["kind"] for e in episodes}
         assert set(PROBE_KINDS) <= kinds
-        assert {"scenario", "service"} <= kinds
+        assert {"scenario", "service", "chaos"} <= kinds
         strategies = {e.get("strategy") for e in episodes if "strategy" in e}
         assert {"equivocate", "garble-echo", "pivot-delay",
                 "adaptive-corrupt", "share-flood", None} <= strategies
 
     def test_probe_flag_gates_probes(self):
         config = FuzzConfig(episodes=0, seed=0, include_probes=False,
-                            include_service=False)
+                            include_service=False, include_chaos=False)
         kinds = {build_episode(config, i)["kind"] for i in range(40)}
         assert kinds == {"scenario"}
+
+    def test_chaos_episodes_sample_staged_plans(self):
+        config = FuzzConfig(episodes=0, seed=0)
+        chaos = [build_episode(config, i) for i in range(120)
+                 if build_episode(config, i)["kind"] == "chaos"]
+        assert chaos
+        for episode in chaos:
+            plan = episode["scenario"]["chaos"]
+            actions = [s["action"] for s in plan["stages"]]
+            # every sampled timeline heals its partition (liveness kept)
+            assert actions[:2] == ["partition", "heal"]
+            weather = plan.get("weather")
+            if weather is not None:
+                assert weather.get("loss", 0.0) == 0.0
 
 
 class TestProbes:
